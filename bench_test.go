@@ -1,0 +1,115 @@
+package mllibstar
+
+// Benchmarks that regenerate every table and figure of the paper's
+// evaluation, one per artifact, at CI scale. Each benchmark runs the
+// corresponding experiment from internal/bench and reports its headline
+// numbers as custom metrics (speedups, busy-time shares), so
+// `go test -bench=. -benchmem` reproduces the entire evaluation section.
+//
+// The benchmarks measure simulated-experiment wall time; the scientific
+// content (who wins, by what factor) is in the reported metrics and in the
+// experiment output written by cmd/mlstar-bench.
+
+import (
+	"sort"
+	"testing"
+
+	"mllibstar/internal/bench"
+)
+
+// runExperiment executes a bench experiment b.N times and reports its
+// metrics from the last run.
+func runExperiment(b *testing.B, id string, cfg bench.RunConfig) {
+	b.Helper()
+	exp, err := bench.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var report *bench.Report
+	for i := 0; i < b.N; i++ {
+		report, err = exp.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	names := make([]string, 0, len(report.Metrics))
+	for name := range report.Metrics {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b.ReportMetric(report.Metrics[name], name)
+	}
+}
+
+// ciCfg is the scale used by the benchmark suite.
+var ciCfg = bench.RunConfig{Scale: bench.DefaultScale}
+
+func BenchmarkFigure1WorkloadShare(b *testing.B) { runExperiment(b, "fig1", ciCfg) }
+
+func BenchmarkTableIDatasets(b *testing.B) { runExperiment(b, "table1", ciCfg) }
+
+func BenchmarkFigure3Gantt(b *testing.B) { runExperiment(b, "fig3", ciCfg) }
+
+func BenchmarkBottleneckAnalysis(b *testing.B) { runExperiment(b, "bottleneck", ciCfg) }
+
+// Figure 4 — MLlib vs MLlib*, four datasets × {L2=0.1, L2=0}.
+
+func BenchmarkFigure4aAvazuL2(b *testing.B) { runExperiment(b, "fig4a", ciCfg) }
+func BenchmarkFigure4bAvazu(b *testing.B)   { runExperiment(b, "fig4b", ciCfg) }
+func BenchmarkFigure4cURLL2(b *testing.B)   { runExperiment(b, "fig4c", ciCfg) }
+func BenchmarkFigure4dURL(b *testing.B)     { runExperiment(b, "fig4d", ciCfg) }
+func BenchmarkFigure4eKddbL2(b *testing.B)  { runExperiment(b, "fig4e", ciCfg) }
+func BenchmarkFigure4fKddb(b *testing.B)    { runExperiment(b, "fig4f", ciCfg) }
+func BenchmarkFigure4gKdd12L2(b *testing.B) { runExperiment(b, "fig4g", ciCfg) }
+func BenchmarkFigure4hKdd12(b *testing.B)   { runExperiment(b, "fig4h", ciCfg) }
+
+// Figure 5 — MLlib* vs parameter servers, four datasets × {L2=0, L2=0.1}.
+
+func BenchmarkFigure5aAvazu(b *testing.B)   { runExperiment(b, "fig5a", ciCfg) }
+func BenchmarkFigure5bURL(b *testing.B)     { runExperiment(b, "fig5b", ciCfg) }
+func BenchmarkFigure5cKddb(b *testing.B)    { runExperiment(b, "fig5c", ciCfg) }
+func BenchmarkFigure5dKdd12(b *testing.B)   { runExperiment(b, "fig5d", ciCfg) }
+func BenchmarkFigure5eAvazuL2(b *testing.B) { runExperiment(b, "fig5e", ciCfg) }
+func BenchmarkFigure5fURLL2(b *testing.B)   { runExperiment(b, "fig5f", ciCfg) }
+func BenchmarkFigure5gKddbL2(b *testing.B)  { runExperiment(b, "fig5g", ciCfg) }
+func BenchmarkFigure5hKdd12L2(b *testing.B) { runExperiment(b, "fig5h", ciCfg) }
+
+// Figure 6 — WX scalability on the heterogeneous cluster.
+
+func BenchmarkFigure6a32Machines(b *testing.B)  { runExperiment(b, "fig6a", ciCfg) }
+func BenchmarkFigure6b64Machines(b *testing.B)  { runExperiment(b, "fig6b", ciCfg) }
+func BenchmarkFigure6c128Machines(b *testing.B) { runExperiment(b, "fig6c", ciCfg) }
+func BenchmarkFigure6dScalability(b *testing.B) { runExperiment(b, "fig6d", ciCfg) }
+
+// Ablations — design choices called out in DESIGN.md.
+
+func BenchmarkAblationSummationVsAveraging(b *testing.B) {
+	runExperiment(b, "ablation-summation", ciCfg)
+}
+
+func BenchmarkAblationLazyL2(b *testing.B) { runExperiment(b, "ablation-lazyl2", ciCfg) }
+
+func BenchmarkAblationWaves(b *testing.B) { runExperiment(b, "ablation-waves", ciCfg) }
+
+func BenchmarkAblationAggregators(b *testing.B) { runExperiment(b, "ablation-aggregators", ciCfg) }
+
+// Extensions — the paper's future-work directions, implemented.
+
+func BenchmarkExtensionLBFGS(b *testing.B) { runExperiment(b, "ext-lbfgs", ciCfg) }
+
+func BenchmarkExtensionStaleness(b *testing.B) { runExperiment(b, "ext-staleness", ciCfg) }
+
+func BenchmarkExtensionReweight(b *testing.B) { runExperiment(b, "ext-reweight", ciCfg) }
+
+func BenchmarkExtensionTorrentBroadcast(b *testing.B) { runExperiment(b, "ext-torrent", ciCfg) }
+
+func BenchmarkSensitivityBandwidth(b *testing.B) { runExperiment(b, "ext-bandwidth", ciCfg) }
+
+func BenchmarkSubstrateLoading(b *testing.B) { runExperiment(b, "ext-loading", ciCfg) }
+
+func BenchmarkExtensionAdaGrad(b *testing.B) { runExperiment(b, "ext-adagrad", ciCfg) }
+
+func BenchmarkExtensionSpeculation(b *testing.B) { runExperiment(b, "ext-speculation", ciCfg) }
+
+func BenchmarkExtensionSVRG(b *testing.B) { runExperiment(b, "ext-svrg", ciCfg) }

@@ -1,0 +1,80 @@
+// Command mlstar-bench regenerates the tables and figures of the MLlib*
+// paper on the simulated cluster.
+//
+// Usage:
+//
+//	mlstar-bench -list
+//	mlstar-bench -exp fig4h
+//	mlstar-bench -exp all -scale 2000 -out results/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"mllibstar/internal/bench"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list available experiments and exit")
+		exp     = flag.String("exp", "", "experiment id to run, or \"all\"")
+		scale   = flag.Float64("scale", bench.DefaultScale, "dataset downscale factor (1 = paper scale; smaller = bigger datasets)")
+		grid    = flag.Bool("grid", false, "grid-search the learning rate instead of tuned defaults")
+		out     = flag.String("out", "", "directory to write CSV outputs into (optional)")
+		evalCap = flag.Int("evalcap", 0, "evaluation subsample cap (0 = default)")
+	)
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("available experiments:")
+		for _, e := range bench.All() {
+			fmt.Printf("  %-22s %s\n", e.ID, e.Title)
+		}
+		if *exp == "" && !*list {
+			fmt.Println("\nrun one with: mlstar-bench -exp <id>")
+		}
+		return
+	}
+
+	cfg := bench.RunConfig{Scale: *scale, Grid: *grid, EvalCap: *evalCap}
+	var exps []bench.Experiment
+	if *exp == "all" {
+		exps = bench.All()
+	} else {
+		e, err := bench.ByID(*exp)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		exps = []bench.Experiment{e}
+	}
+
+	for _, e := range exps {
+		start := time.Now()
+		report, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Print(report.Text())
+		fmt.Printf("(%s finished in %s wall time)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		if *out != "" {
+			if err := os.MkdirAll(*out, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			for name, contents := range report.Files {
+				path := filepath.Join(*out, name)
+				if err := os.WriteFile(path, []byte(contents), 0o644); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				fmt.Printf("wrote %s\n", path)
+			}
+		}
+	}
+}

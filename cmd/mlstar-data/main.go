@@ -1,0 +1,74 @@
+// Command mlstar-data generates the synthetic preset datasets and prints
+// Table I of the paper (dataset statistics at paper scale and at the
+// reproduction scale).
+//
+// Usage:
+//
+//	mlstar-data -table1
+//	mlstar-data -preset kdd12 -scale 5000 -out kdd12.libsvm
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mllibstar"
+	"mllibstar/internal/data"
+)
+
+func main() {
+	var (
+		table1 = flag.Bool("table1", false, "print Table I (all presets, paper + reproduction scale)")
+		preset = flag.String("preset", "", "preset to generate: avazu, url, kddb, kdd12, wx")
+		scale  = flag.Float64("scale", 5000, "downscale factor")
+		out    = flag.String("out", "", "write the generated dataset to this libsvm file")
+	)
+	flag.Parse()
+
+	if *table1 {
+		fmt.Println("Table I — paper scale:")
+		for _, name := range data.PresetNames() {
+			st, err := data.PaperStats(name)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("  %s\n", st)
+		}
+		fmt.Printf("reproduction scale (1/%g):\n", *scale)
+		for _, name := range data.PresetNames() {
+			ds, err := mllibstar.PresetDataset(name, *scale)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("  %s\n", ds.Stats())
+		}
+		return
+	}
+
+	if *preset == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	ds, err := mllibstar.PresetDataset(*preset, *scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("generated: %s\n", ds.Stats())
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := mllibstar.WriteLibSVM(f, ds); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+}

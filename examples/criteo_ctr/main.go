@@ -1,0 +1,74 @@
+// Click-through-rate prediction: the workload class that motivates the
+// paper (avazu is a CTR dataset). Trains L2-regularized logistic regression
+// with the baseline MLlib and with MLlib*, and prints the head-to-head
+// convergence — a miniature of the paper's Figure 4(a).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mllibstar"
+)
+
+func main() {
+	// A scaled-down replica of the avazu CTR dataset (Table I): determined
+	// (many more clicks than features), ~15 nonzeros per impression.
+	ds, err := mllibstar.PresetDataset("avazu", 2000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("CTR dataset:", ds.Stats())
+
+	type outcome struct {
+		system mllibstar.System
+		res    *mllibstar.Result
+	}
+	var outcomes []outcome
+	for _, run := range []struct {
+		system mllibstar.System
+		eta    float64
+		batch  float64
+		steps  int
+	}{
+		// MLlib applies one update per step, so it gets a larger rate, a
+		// mini batch, and a much larger step budget (as in the paper's grid
+		// search).
+		{mllibstar.MLlib, 4.0, 0.1, 200},
+		{mllibstar.MLlibStar, 0.1, 0, 20},
+	} {
+		res, err := mllibstar.Train(ds, mllibstar.Config{
+			System:        run.system,
+			Cluster:       mllibstar.Cluster1(8),
+			Loss:          "logistic",
+			L2:            0.01,
+			Eta:           run.eta,
+			Decay:         true,
+			BatchFraction: run.batch,
+			MaxSteps:      run.steps,
+			Seed:          7,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		outcomes = append(outcomes, outcome{run.system, res})
+		fmt.Printf("%-8s %4d steps  %8.3f sim-s  objective %.4f -> %.4f  accuracy %.1f%%\n",
+			run.system, res.CommSteps, res.SimTime,
+			res.Curve.Points[0].Objective, res.Curve.Final().Objective,
+			res.Model.Accuracy(ds.Examples)*100)
+	}
+
+	// Where does MLlib stand when MLlib* has already converged?
+	star := outcomes[1].res
+	base := outcomes[0].res
+	target := star.Curve.Final().Objective + 0.005
+	if steps, ok := base.Curve.StepsToReach(target); ok {
+		tm, _ := base.Curve.TimeToReach(target)
+		starTm, _ := star.Curve.TimeToReach(target)
+		fmt.Printf("\nto reach objective %.4f: MLlib* %d steps (%.3fs), MLlib %d steps (%.3fs) — %.0fx slower\n",
+			target, star.CommSteps, starTm, steps, tm, tm/starTm)
+	} else {
+		fmt.Printf("\nMLlib did not reach MLlib*'s final objective %.4f within its budget (best %.4f)\n",
+			target, base.Curve.Best())
+	}
+}

@@ -1,0 +1,57 @@
+// Quasi-Newton training: the paper's conclusion asks whether the MLlib*
+// techniques could also speed up spark.ml's L-BFGS. This example trains
+// L2-regularized logistic regression three ways — first-order MLlib*,
+// L-BFGS with spark.ml's driver-centric aggregation, and L-BFGS with
+// MLlib*'s AllReduce — and compares iterations, time, and ranking quality
+// (AUC).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mllibstar"
+)
+
+func main() {
+	ds, err := mllibstar.PresetDataset("kdd12", 5000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("dataset:", ds.Stats())
+	fmt.Println()
+
+	for _, run := range []struct {
+		system mllibstar.System
+		eta    float64
+		steps  int
+	}{
+		{mllibstar.MLlibStar, 0.1, 25},
+		{mllibstar.LBFGS, 0, 25},     // eta unused: line search picks steps
+		{mllibstar.LBFGSStar, 0, 25}, // same algorithm, AllReduce gradients
+	} {
+		cfg := mllibstar.Config{
+			System:   run.system,
+			Cluster:  mllibstar.Cluster1(8),
+			Loss:     "logistic",
+			L2:       0.01,
+			Eta:      run.eta,
+			Decay:    true,
+			MaxSteps: run.steps,
+			Seed:     7,
+		}
+		if cfg.Eta == 0 {
+			cfg.Eta = 1 // validated but unused by the L-BFGS line search
+		}
+		res, err := mllibstar.Train(ds, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-7s %3d iters  %8.4f sim-s  objective %.4f  AUC %.4f  traffic %6.1f MB\n",
+			run.system, res.CommSteps, res.SimTime,
+			res.Curve.Final().Objective, res.Model.AUC(ds.Examples), res.TotalBytes/1e6)
+	}
+	fmt.Println("\nShape to look for: the two L-BFGS variants land on the same objective (same")
+	fmt.Println("iterates); the AllReduce variant gets there in a fraction of the simulated time;")
+	fmt.Println("L-BFGS needs far fewer iterations than first-order MLlib* on a smooth objective.")
+}

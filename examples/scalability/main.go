@@ -1,0 +1,57 @@
+// Scalability on a production-style workload: a miniature of the paper's
+// Figure 6. Trains the WX-like workload on the heterogeneous cluster with
+// 8, 16, and 32 machines and reports how far below linear the speedup is —
+// and that the SendGradient baseline can even get slower with more
+// machines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mllibstar"
+)
+
+func main() {
+	ds, err := mllibstar.PresetDataset("wx", 5000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("WX-like dataset:", ds.Stats())
+	fmt.Println()
+
+	machines := []int{8, 16, 32}
+	for _, system := range []mllibstar.System{mllibstar.MLlibStar, mllibstar.MLlib} {
+		fmt.Printf("%s:\n", system)
+		base := 0.0
+		for _, m := range machines {
+			eta, batch, steps := 0.3, 0.0, 40
+			if system == mllibstar.MLlib {
+				eta, batch, steps = 48, 0.1, 400
+			}
+			res, err := mllibstar.Train(ds, mllibstar.Config{
+				System:        system,
+				Cluster:       mllibstar.Cluster2(m),
+				Loss:          "hinge",
+				Eta:           eta,
+				Decay:         true,
+				BatchFraction: batch,
+				MaxSteps:      steps,
+				// Stop at a fixed quality bar so times are comparable.
+				TargetObjective: 0.35,
+				Seed:            7,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if m == machines[0] {
+				base = res.SimTime
+			}
+			fmt.Printf("  %3d machines: %8.3f sim-s to objective %.2f  (speedup %.2fx, linear would be %.1fx)\n",
+				m, res.SimTime, res.Curve.Final().Objective,
+				base/res.SimTime, float64(m)/float64(machines[0]))
+		}
+	}
+	fmt.Println("\nShape to look for: speedups far below linear (stragglers + fixed per-step")
+	fmt.Println("overheads), with the SendGradient baseline degrading the most.")
+}

@@ -1,0 +1,3 @@
+module mllibstar
+
+go 1.22

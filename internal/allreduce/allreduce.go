@@ -1,0 +1,100 @@
+// Package allreduce implements the paper's distributed aggregation: an
+// AllReduce built from two rounds of shuffle among the executors
+// (Algorithm 3), with no central node.
+//
+//   - Reduce-Scatter: the model is logically split into k contiguous
+//     partitions, partition j owned by executor j. Each executor sends every
+//     partition except its own to that partition's owner, then combines the
+//     k received copies of the partition it owns.
+//   - AllGather: each owner broadcasts its combined partition to every other
+//     executor, after which all executors hold the identical global model.
+//
+// The total traffic per call is 2·(k−1)·m/k bytes per executor — the same
+// 2·k·m aggregate the centralized pattern moves, but with no single link
+// serializing it, which is where MLlib*'s latency win comes from.
+package allreduce
+
+import (
+	"fmt"
+
+	"mllibstar/internal/des"
+	"mllibstar/internal/engine"
+	"mllibstar/internal/trace"
+	"mllibstar/internal/vec"
+)
+
+// piece is a model partition in flight during AllGather.
+type piece struct {
+	from int
+	vals []float64
+}
+
+// Average replaces local, in place, with the element-wise average of the
+// local vectors across all executors. It must be called from within the
+// same stage on every executor in execs, with self the caller's index and a
+// name unique to this collective call (it namespaces the shuffle tags).
+// Message payloads are shared between sender and receiver and must be
+// treated as immutable.
+func Average(p *des.Proc, ex *engine.Executor, execs []string, self int, name string, local []float64) {
+	reduceScatterGather(p, ex, execs, self, name, local, true)
+}
+
+// Sum is Average without the final division: local becomes the element-wise
+// sum across executors (the model-summation rule of unstarred Petuum, made
+// available for ablations).
+func Sum(p *des.Proc, ex *engine.Executor, execs []string, self int, name string, local []float64) {
+	reduceScatterGather(p, ex, execs, self, name, local, false)
+}
+
+func reduceScatterGather(p *des.Proc, ex *engine.Executor, execs []string, self int, name string, local []float64, average bool) {
+	k := len(execs)
+	if self < 0 || self >= k {
+		panic(fmt.Sprintf("allreduce: self %d out of %d executors", self, k))
+	}
+	dim := len(local)
+	if k == 1 {
+		return // single executor: the local vector already is the result
+	}
+
+	// Phase 1 — Reduce-Scatter: one shuffle round shipping each foreign
+	// partition to its owner.
+	outgoing := make([]engine.Block, 0, k-1)
+	for j := 0; j < k; j++ {
+		if j == self {
+			continue
+		}
+		lo, hi := vec.PartitionRange(dim, k, j)
+		chunk := append([]float64(nil), local[lo:hi]...)
+		outgoing = append(outgoing, engine.Block{
+			To: j, Bytes: float64(hi-lo) * engine.FloatBytes, Payload: chunk,
+		})
+	}
+	lo, hi := vec.PartitionRange(dim, k, self)
+	own := append([]float64(nil), local[lo:hi]...)
+	for _, b := range engine.Exchange(p, ex, execs, self, "rs:"+name, outgoing) {
+		ex.ChargeKind(p, float64(hi-lo), trace.Aggregate, name)
+		vec.AddScaled(own, b.Payload.([]float64), 1)
+	}
+	if average {
+		vec.Scale(own, 1/float64(k))
+	}
+
+	// Phase 2 — AllGather: a second shuffle round broadcasting the combined
+	// partition to everyone.
+	outgoing = outgoing[:0]
+	for j := 0; j < k; j++ {
+		if j == self {
+			continue
+		}
+		outgoing = append(outgoing, engine.Block{
+			To: j, Bytes: float64(hi-lo) * engine.FloatBytes, Payload: piece{from: self, vals: own},
+		})
+	}
+	copy(local[lo:hi], own)
+	for _, b := range engine.Exchange(p, ex, execs, self, "ag:"+name, outgoing) {
+		pc := b.Payload.(piece)
+		plo, phi := vec.PartitionRange(dim, k, pc.from)
+		ex.ChargeKind(p, float64(phi-plo), trace.Update, name)
+		copy(local[plo:phi], pc.vals)
+	}
+}

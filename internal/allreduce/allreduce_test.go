@@ -1,0 +1,195 @@
+package allreduce_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mllibstar/internal/allreduce"
+	"mllibstar/internal/clusters"
+	"mllibstar/internal/des"
+	"mllibstar/internal/engine"
+)
+
+// runCollective executes one stage in which every executor calls the
+// collective on its row of locals, then returns the finish time.
+func runCollective(k, dim int, locals [][]float64, avg bool) float64 {
+	sim, cl, ctx := clusters.Test(k).Build(nil)
+	var end float64
+	sim.Spawn("driver", func(p *des.Proc) {
+		tasks := make([]engine.Task, k)
+		for i := 0; i < k; i++ {
+			i := i
+			tasks[i] = engine.Task{
+				Exec: cl.Execs[i],
+				Run: func(p *des.Proc, ex *engine.Executor) (any, float64) {
+					if avg {
+						allreduce.Average(p, ex, cl.Execs, i, "t", locals[i])
+					} else {
+						allreduce.Sum(p, ex, cl.Execs, i, "t", locals[i])
+					}
+					return nil, 0
+				},
+			}
+		}
+		ctx.RunStage(p, "collective", tasks)
+		end = p.Now()
+	})
+	sim.Run()
+	return end
+}
+
+func TestAverageMatchesCentralizedMean(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 2 + rng.Intn(6)
+		dim := 1 + rng.Intn(40)
+		locals := make([][]float64, k)
+		want := make([]float64, dim)
+		for i := range locals {
+			locals[i] = make([]float64, dim)
+			for j := range locals[i] {
+				locals[i][j] = rng.NormFloat64()
+				want[j] += locals[i][j] / float64(k)
+			}
+		}
+		runCollective(k, dim, locals, true)
+		for i := range locals {
+			for j := range want {
+				if math.Abs(locals[i][j]-want[j]) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSumMatchesCentralizedSum(t *testing.T) {
+	k, dim := 4, 10
+	locals := make([][]float64, k)
+	for i := range locals {
+		locals[i] = make([]float64, dim)
+		for j := range locals[i] {
+			locals[i][j] = float64(i + 1)
+		}
+	}
+	runCollective(k, dim, locals, false)
+	for i := range locals {
+		for j := range locals[i] {
+			if locals[i][j] != 10 { // 1+2+3+4
+				t.Fatalf("locals[%d][%d] = %g, want 10", i, j, locals[i][j])
+			}
+		}
+	}
+}
+
+func TestSingleExecutorIsIdentityAverage(t *testing.T) {
+	locals := [][]float64{{1, 2, 3}}
+	runCollective(1, 3, locals, true)
+	if locals[0][0] != 1 || locals[0][2] != 3 {
+		t.Errorf("locals = %v", locals[0])
+	}
+}
+
+func TestDimSmallerThanExecutors(t *testing.T) {
+	// dim < k: some partitions are empty; the collective must still work.
+	k, dim := 6, 3
+	locals := make([][]float64, k)
+	for i := range locals {
+		locals[i] = []float64{float64(i), float64(i), float64(i)}
+	}
+	runCollective(k, dim, locals, true)
+	for i := range locals {
+		for j := range locals[i] {
+			if math.Abs(locals[i][j]-2.5) > 1e-12 { // mean of 0..5
+				t.Fatalf("locals[%d] = %v", i, locals[i])
+			}
+		}
+	}
+}
+
+// TestAllReduceTrafficInvariant asserts the paper's claim: the total bytes
+// moved per AllReduce equal the centralized pattern's 2·k·m (up to the
+// (k-1)/k factor from owners not sending to themselves).
+func TestAllReduceTrafficInvariant(t *testing.T) {
+	const k, dim = 8, 1000
+	sim, cl, ctx := clusters.Test(k).Build(nil)
+	locals := make([][]float64, k)
+	for i := range locals {
+		locals[i] = make([]float64, dim)
+	}
+	before := 0.0
+	sim.Spawn("driver", func(p *des.Proc) {
+		tasks := make([]engine.Task, k)
+		for i := 0; i < k; i++ {
+			i := i
+			tasks[i] = engine.Task{Exec: cl.Execs[i], Run: func(p *des.Proc, ex *engine.Executor) (any, float64) {
+				allreduce.Average(p, ex, cl.Execs, i, "t", locals[i])
+				return nil, 0
+			}}
+		}
+		// Measure only the collective's bytes, not task dispatch.
+		before = cl.Net.TotalBytes()
+		ctx.RunStage(p, "c", tasks)
+	})
+	sim.Run()
+	got := cl.Net.TotalBytes() - before
+	// Dispatch + results overhead for k tasks.
+	overhead := float64(k) * (512 + 128)
+	want := 2 * float64(k-1) * float64(dim) * engine.FloatBytes
+	if math.Abs(got-overhead-want) > 0.02*want {
+		t.Errorf("collective bytes = %g, want ~%g (+%g overhead)", got, want, overhead)
+	}
+}
+
+// TestAllReduceLatencyFlat asserts the core latency claim: AllReduce step
+// time grows only mildly with k (each node still moves ~2m bytes), whereas
+// centralized aggregation at one node grows linearly in k.
+func TestAllReduceLatencyFlat(t *testing.T) {
+	const dim = 20000
+	stepTime := func(k int) float64 {
+		locals := make([][]float64, k)
+		for i := range locals {
+			locals[i] = make([]float64, dim)
+		}
+		return runCollective(k, dim, locals, true)
+	}
+	t2, t8 := stepTime(2), stepTime(8)
+	if t8 > 3*t2 {
+		t.Errorf("AllReduce time grew from %g (k=2) to %g (k=8); expected sub-linear growth", t2, t8)
+	}
+}
+
+func TestSelfOutOfRangePanics(t *testing.T) {
+	sim, cl, ctx := clusters.Test(2).Build(nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	sim.Spawn("driver", func(p *des.Proc) {
+		ctx.RunStage(p, "bad", []engine.Task{{
+			Exec: cl.Execs[0],
+			Run: func(p *des.Proc, ex *engine.Executor) (any, float64) {
+				allreduce.Average(p, ex, cl.Execs, 5, "t", make([]float64, 4))
+				return nil, 0
+			},
+		}})
+	})
+	sim.Run()
+}
+
+func BenchmarkAllReduce8x10k(b *testing.B) {
+	for n := 0; n < b.N; n++ {
+		locals := make([][]float64, 8)
+		for i := range locals {
+			locals[i] = make([]float64, 10000)
+		}
+		runCollective(8, 10000, locals, true)
+	}
+}

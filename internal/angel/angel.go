@@ -1,0 +1,124 @@
+// Package angel implements an Angel-like trainer on the parameter-server
+// substrate, following the paper's description of Angel's GLM training:
+//
+//   - SendModel paradigm with per-epoch communication: each communication
+//     step a worker pulls the model, runs mini-batch gradient descent over
+//     its entire local partition (one dense update per batch), and pushes
+//     its model delta.
+//   - For every batch Angel allocates a fresh dense vector to accumulate
+//     the batch gradient and garbage-collects it afterwards; with small
+//     batches the allocation/GC overhead dominates, which is the paper's
+//     explanation for Angel's inefficiency at small batch sizes. This cost
+//     is modelled as AllocWorkPerDim work units per batch per model
+//     coordinate.
+package angel
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mllibstar/internal/des"
+	"mllibstar/internal/glm"
+	"mllibstar/internal/opt"
+	"mllibstar/internal/ps"
+	"mllibstar/internal/simnet"
+	"mllibstar/internal/train"
+	"mllibstar/internal/vec"
+)
+
+// System is the curve label for this trainer.
+const System = "Angel"
+
+// AllocWorkPerDim is the modelled cost, in work units per model coordinate,
+// of allocating and collecting the per-batch gradient vector.
+const AllocWorkPerDim = 2.0
+
+// Train runs the Angel-like trainer over the given worker nodes. parts must
+// have one partition per node, in node order.
+func Train(sim *des.Sim, net *simnet.Network, nodeNames []string, parts [][]glm.Example,
+	dim int, prm train.Params, evalData []glm.Example, dataset string) (*train.Result, error) {
+
+	if err := prm.Validate(); err != nil {
+		return nil, err
+	}
+	k := len(nodeNames)
+	if len(parts) != k {
+		return nil, fmt.Errorf("angel: %d partitions for %d workers", len(parts), k)
+	}
+	if prm.BatchFraction <= 0 {
+		prm.BatchFraction = 0.01
+	}
+	deploy, err := ps.New(sim, net, nodeNames, ps.Config{
+		Dim: dim, Servers: k, Workers: k, Staleness: prm.Staleness, CombineScale: 1 / float64(k),
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	ev := train.NewEvaluator(System, dataset, prm.Objective, evalData, prm.EvalEvery)
+	res := &train.Result{System: System, Curve: ev.Curve}
+	sched := prm.Schedule()
+	stop := false
+
+	for r := 0; r < k; r++ {
+		r := r
+		node := net.Node(nodeNames[r])
+		part := parts[r]
+		batchSize := maxInt(1, int(prm.BatchFraction*float64(len(part))))
+		sim.Spawn(fmt.Sprintf("angel:worker%d", r), func(p *des.Proc) {
+			scratch := make([]float64, dim)
+			jitter := rand.New(rand.NewSource(prm.Seed + int64(r)*7907))
+			for t := 1; t <= prm.MaxSteps && !stop; t++ {
+				w := deploy.Pull(p, node.Name(), r, t-1)
+				if r == 0 {
+					if obj, recorded := ev.Record(t-1, p.Now(), w); recorded {
+						res.FinalW = w
+						if prm.TargetObjective > 0 && obj <= prm.TargetObjective {
+							stop = true
+							break
+						}
+					}
+					res.CommSteps = t
+					if prm.MaxSimTime > 0 && p.Now() >= prm.MaxSimTime {
+						stop = true
+						break
+					}
+				}
+				// One epoch of mini-batch GD over the local partition.
+				local := vec.Copy(w)
+				eta := sched(t - 1)
+				work, batches := opt.LocalMGDEpoch(prm.Objective, local, part, batchSize, opt.Const(eta), 0, scratch)
+				// Per-batch gradient-vector allocation and collection.
+				allocWork := float64(batches) * AllocWorkPerDim * float64(dim)
+				effort := float64(work) + allocWork
+				if prm.ComputeJitter > 0 {
+					effort *= 1 + prm.ComputeJitter*jitter.Float64()
+				}
+				node.Compute(p, effort)
+				res.Updates += int64(batches)
+
+				delta := local
+				vec.AddScaled(delta, w, -1)
+				deploy.Push(p, node.Name(), r, t, delta)
+			}
+			if r == 0 && !stop {
+				w := deploy.Pull(p, node.Name(), r, prm.MaxSteps)
+				ev.Record(prm.MaxSteps, p.Now(), w)
+				res.FinalW = w
+			}
+		})
+	}
+	res.SimTime = sim.Run()
+	res.TotalBytes = net.TotalBytes()
+	if res.FinalW == nil {
+		res.FinalW = make([]float64, dim)
+	}
+	return res, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,101 @@
+package bench
+
+import (
+	"fmt"
+
+	"mllibstar/internal/clusters"
+	"mllibstar/internal/metrics"
+)
+
+// fig4Panels maps each panel of Figure 4 to its dataset and L2 strength, in
+// the paper's order.
+var fig4Panels = []struct {
+	id      string
+	dataset string
+	l2      float64
+}{
+	{"fig4a", "avazu", 0.1},
+	{"fig4b", "avazu", 0},
+	{"fig4c", "url", 0.1},
+	{"fig4d", "url", 0},
+	{"fig4e", "kddb", 0.1},
+	{"fig4f", "kddb", 0},
+	{"fig4g", "kdd12", 0.1},
+	{"fig4h", "kdd12", 0},
+}
+
+func init() {
+	for _, p := range fig4Panels {
+		p := p
+		register(Experiment{
+			ID: p.id,
+			Title: fmt.Sprintf("MLlib vs MLlib*: %s, L2=%g (objective vs #comm and vs time)",
+				p.dataset, p.l2),
+			Run: func(cfg RunConfig) (*Report, error) {
+				return runFig4Panel(p.id, p.dataset, p.l2, cfg)
+			},
+		})
+	}
+	register(Experiment{
+		ID:    "fig4",
+		Title: "MLlib vs MLlib* on all four public datasets, with and without L2 (all panels)",
+		Run: func(cfg RunConfig) (*Report, error) {
+			combined := &Report{ID: "fig4", Title: "MLlib vs MLlib*, all panels"}
+			for _, p := range fig4Panels {
+				sub, err := runFig4Panel(p.id, p.dataset, p.l2, cfg)
+				if err != nil {
+					return nil, err
+				}
+				combined.Lines = append(combined.Lines, sub.Text())
+				for n, c := range sub.Files {
+					combined.addFile(n, c)
+				}
+			}
+			return combined, nil
+		},
+	})
+}
+
+// runFig4Panel runs MLlib and MLlib* on one dataset/L2 setting and reports
+// steps-to-target, time-to-target, and the speedup factors — the numbers
+// annotated on the paper's plots (e.g. "80x" steps, "240x" time on kdd12).
+func runFig4Panel(id, dataset string, l2 float64, cfg RunConfig) (*Report, error) {
+	w, err := loadWorkload(dataset, cfg)
+	if err != nil {
+		return nil, err
+	}
+	r := &Report{ID: id, Title: fmt.Sprintf("MLlib vs MLlib* on %s, L2=%g", dataset, l2)}
+	spec := clusters.Cluster1(8)
+	target := w.target(l2)
+	r.addLine("target objective (optimum + 0.01): %.4f", target)
+
+	curves := map[string]*metrics.Curve{}
+	for _, system := range []string{sysMLlibStar, sysMLlib} {
+		res, err := runTuned(system, spec, w, l2, stepBudget(system), 0, cfg)
+		if err != nil {
+			return nil, err
+		}
+		curves[system] = res.Curve
+		r.Curves = append(r.Curves, res.Curve)
+		steps, okS := res.Curve.StepsToReach(target)
+		tm, okT := res.Curve.TimeToReach(target)
+		if okS && okT {
+			r.addLine("%-8s reached target in %5d comm steps, %10.3f s (best %.4f)",
+				system, steps, tm, res.Curve.Best())
+		} else {
+			r.addLine("%-8s DID NOT reach target within %d steps (best %.4f)",
+				system, res.CommSteps, res.Curve.Best())
+		}
+	}
+	if stepX, timeX, ok := metrics.Speedup(curves[sysMLlib], curves[sysMLlibStar], target); ok {
+		r.addLine("speedup of MLlib* over MLlib: %.0fx in comm steps, %.0fx in time", stepX, timeX)
+		r.addMetric("steps_speedup", stepX)
+		r.addMetric("time_speedup", timeX)
+	} else {
+		r.addLine("speedup of MLlib* over MLlib: MLlib missed the target — unbounded (paper: url/kddb at L2=0)")
+		r.addMetric("mllib_missed_target", 1)
+	}
+	r.addCurveCSV(id + "_curves.csv")
+	r.addCurveSVG(id+".svg", r.Title)
+	return r, nil
+}

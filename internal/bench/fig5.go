@@ -1,0 +1,101 @@
+package bench
+
+import (
+	"fmt"
+
+	"mllibstar/internal/clusters"
+	"mllibstar/internal/metrics"
+)
+
+// fig5Panels maps each panel of Figure 5 to its dataset and L2 strength, in
+// the paper's order (top row L2=0, bottom row L2=0.1).
+var fig5Panels = []struct {
+	id      string
+	dataset string
+	l2      float64
+}{
+	{"fig5a", "avazu", 0},
+	{"fig5b", "url", 0},
+	{"fig5c", "kddb", 0},
+	{"fig5d", "kdd12", 0},
+	{"fig5e", "avazu", 0.1},
+	{"fig5f", "url", 0.1},
+	{"fig5g", "kddb", 0.1},
+	{"fig5h", "kdd12", 0.1},
+}
+
+func init() {
+	for _, p := range fig5Panels {
+		p := p
+		register(Experiment{
+			ID: p.id,
+			Title: fmt.Sprintf("MLlib* vs parameter servers: %s, L2=%g (objective vs time)",
+				p.dataset, p.l2),
+			Run: func(cfg RunConfig) (*Report, error) {
+				return runFig5Panel(p.id, p.dataset, p.l2, cfg)
+			},
+		})
+	}
+	register(Experiment{
+		ID:    "fig5",
+		Title: "MLlib* vs Petuum* vs Angel (MLlib reference) on all datasets (all panels)",
+		Run: func(cfg RunConfig) (*Report, error) {
+			combined := &Report{ID: "fig5", Title: "MLlib* vs parameter servers, all panels"}
+			for _, p := range fig5Panels {
+				sub, err := runFig5Panel(p.id, p.dataset, p.l2, cfg)
+				if err != nil {
+					return nil, err
+				}
+				combined.Lines = append(combined.Lines, sub.Text())
+				for n, c := range sub.Files {
+					combined.addFile(n, c)
+				}
+			}
+			return combined, nil
+		},
+	})
+}
+
+// runFig5Panel compares MLlib*, Petuum*, and Angel (with MLlib as the
+// reference pointer, as in the paper) by objective vs simulated time.
+func runFig5Panel(id, dataset string, l2 float64, cfg RunConfig) (*Report, error) {
+	w, err := loadWorkload(dataset, cfg)
+	if err != nil {
+		return nil, err
+	}
+	r := &Report{ID: id, Title: fmt.Sprintf("MLlib* vs parameter servers on %s, L2=%g", dataset, l2)}
+	spec := clusters.Cluster1(8)
+	target := w.target(l2)
+	r.addLine("target objective (optimum + 0.01): %.4f", target)
+
+	var curves []*metrics.Curve
+	maxTime := 0.0
+	for _, system := range []string{sysMLlibStar, sysPetuumStar, sysAngel, sysMLlib} {
+		res, err := runTuned(system, spec, w, l2, stepBudget(system), 0, cfg)
+		if err != nil {
+			return nil, err
+		}
+		curves = append(curves, res.Curve)
+		r.Curves = append(r.Curves, res.Curve)
+		if tm, ok := res.Curve.TimeToReach(target); ok {
+			r.addLine("%-8s reached target at %10.3f s (best %.4f, %d comm steps)",
+				system, tm, res.Curve.Best(), res.CommSteps)
+			if tm > maxTime {
+				maxTime = tm
+			}
+		} else {
+			r.addLine("%-8s DID NOT reach target (best %.4f after %d steps, %.3f s)",
+				system, res.Curve.Best(), res.CommSteps, res.SimTime)
+			if res.SimTime > maxTime {
+				maxTime = res.SimTime
+			}
+		}
+	}
+	if maxTime > 0.001 {
+		r.addLine("objective vs time (log-spaced samples):")
+		r.Lines = append(r.Lines, metrics.Table(curves, metrics.LogTimes(maxTime/1000, maxTime, 10)))
+	}
+	r.addCurveCSV(id + "_curves.csv")
+	r.addCurveSVG(id+".svg", r.Title)
+	return r, nil
+}

@@ -1,0 +1,76 @@
+package clusters
+
+import (
+	"testing"
+
+	"mllibstar/internal/des"
+)
+
+func TestPresetsHaveSaneRates(t *testing.T) {
+	for _, spec := range []Spec{Cluster1(8), Cluster2(32), Test(4)} {
+		if spec.ComputeRate <= 0 || spec.Bandwidth <= 0 || spec.Latency < 0 {
+			t.Errorf("%s: bad rates %+v", spec.Name, spec)
+		}
+		if spec.Executors <= 0 {
+			t.Errorf("%s: %d executors", spec.Name, spec.Executors)
+		}
+	}
+}
+
+func TestCluster2IsHeterogeneous(t *testing.T) {
+	spec := Cluster2(8)
+	if spec.Engine.StragglerFactor <= 0 {
+		t.Error("cluster2 must model stragglers")
+	}
+	if Cluster1(8).Engine.StragglerFactor != 0 {
+		t.Error("cluster1 must be homogeneous")
+	}
+}
+
+func TestBuildWiresDriverAndExecutors(t *testing.T) {
+	sim, cl, ctx := Test(3).Build(nil)
+	if cl.Driver != "driver" || len(cl.Execs) != 3 {
+		t.Errorf("cluster = %+v", cl)
+	}
+	if ctx.NumExecutors() != 3 {
+		t.Errorf("ctx executors = %d", ctx.NumExecutors())
+	}
+	sim.Run() // executors spawned; must shut down cleanly
+}
+
+func TestBuildDriverRateOverride(t *testing.T) {
+	spec := Test(1)
+	spec.DriverRate = 123456
+	_, cl, _ := spec.Build(nil)
+	if got := cl.Net.Node("driver").Spec().ComputeRate; got != 123456 {
+		t.Errorf("driver rate = %g", got)
+	}
+	if got := cl.Net.Node("executor0").Spec().ComputeRate; got != spec.ComputeRate {
+		t.Errorf("executor rate = %g", got)
+	}
+}
+
+func TestBuildNetNamesWorkers(t *testing.T) {
+	sim, net, names := Test(4).BuildNet(nil)
+	if len(names) != 4 || names[0] != "worker0" || names[3] != "worker3" {
+		t.Errorf("names = %v", names)
+	}
+	var ran bool
+	sim.Spawn("p", func(p *des.Proc) {
+		net.Node(names[1]).Compute(p, 100)
+		ran = true
+	})
+	sim.Run()
+	if !ran {
+		t.Error("network not usable")
+	}
+}
+
+func TestBuildPanicsOnZeroExecutors(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	Spec{Name: "x"}.Build(nil)
+}

@@ -1,0 +1,287 @@
+package data
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"mllibstar/internal/glm"
+	"mllibstar/internal/opt"
+)
+
+func TestGenerateShape(t *testing.T) {
+	d := Generate(Spec{Name: "t", Rows: 500, Cols: 100, NNZPerRow: 8, Seed: 1})
+	if len(d.Examples) != 500 || d.Features != 100 {
+		t.Fatalf("shape = %d x %d", len(d.Examples), d.Features)
+	}
+	for i, e := range d.Examples {
+		if e.Label != 1 && e.Label != -1 {
+			t.Fatalf("example %d label = %g", i, e.Label)
+		}
+		if e.X.NNZ() == 0 {
+			t.Fatalf("example %d empty", i)
+		}
+		if int(e.X.MaxIndex()) >= 100 {
+			t.Fatalf("example %d index out of range", i)
+		}
+	}
+	st := d.Stats()
+	if st.AvgNNZ < 4 || st.AvgNNZ > 12 {
+		t.Errorf("avg nnz = %g, want near 8", st.AvgNNZ)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec := Spec{Name: "t", Rows: 100, Cols: 50, NNZPerRow: 5, Seed: 42}
+	a, b := Generate(spec), Generate(spec)
+	if !reflect.DeepEqual(a.Examples, b.Examples) {
+		t.Error("same seed produced different datasets")
+	}
+	c := Generate(Spec{Name: "t", Rows: 100, Cols: 50, NNZPerRow: 5, Seed: 43})
+	if reflect.DeepEqual(a.Examples, c.Examples) {
+		t.Error("different seeds produced identical datasets")
+	}
+}
+
+func TestGenerateIsLearnable(t *testing.T) {
+	// The planted model must make the task solvable well above chance.
+	d := Generate(Spec{Name: "t", Rows: 2000, Cols: 50, NNZPerRow: 10, Seed: 7, NoiseRate: 0.02})
+	obj := glm.SVM(0)
+	w := make([]float64, d.Features)
+	step := 0
+	for ep := 0; ep < 5; ep++ {
+		opt.LocalPass(obj, w, d.Examples, opt.InvSqrt(0.5), step)
+		step += len(d.Examples)
+	}
+	if acc := glm.Accuracy(w, d.Examples); acc < 0.8 {
+		t.Errorf("accuracy after training = %g, want > 0.8", acc)
+	}
+}
+
+func TestGenerateZipfSkew(t *testing.T) {
+	// Hot features must appear far more often than the uniform expectation.
+	d := Generate(Spec{Name: "t", Rows: 2000, Cols: 1000, NNZPerRow: 10, Seed: 3})
+	counts := make([]int, 1000)
+	total := 0
+	for _, e := range d.Examples {
+		for _, ix := range e.X.Ind {
+			counts[ix]++
+			total++
+		}
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	uniform := float64(total) / 1000
+	if float64(max) < 5*uniform {
+		t.Errorf("max feature count %d vs uniform %g: not skewed", max, uniform)
+	}
+}
+
+func TestPresets(t *testing.T) {
+	for _, name := range PresetNames() {
+		spec, err := Preset(name, 1000)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if spec.Rows <= 0 || spec.Cols <= 0 || spec.NNZPerRow <= 0 {
+			t.Errorf("%s: bad spec %+v", name, spec)
+		}
+		paper, err := PaperStats(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Scaled preset preserves determinedness.
+		if (spec.Rows >= spec.Cols) != paper.Determined {
+			t.Errorf("%s: determinedness flipped at scale: %d x %d vs paper %v",
+				name, spec.Rows, spec.Cols, paper.Determined)
+		}
+	}
+	if _, err := Preset("nope", 1000); err == nil {
+		t.Error("want error for unknown preset")
+	}
+	if _, err := Preset("avazu", 0.5); err == nil {
+		t.Error("want error for scale < 1")
+	}
+	if _, err := PaperStats("nope"); err == nil {
+		t.Error("want error for unknown paper stats")
+	}
+}
+
+func TestPaperStatsMatchTableI(t *testing.T) {
+	st, _ := PaperStats("kdd12")
+	if st.Instances != 149639105 || st.Features != 54686452 {
+		t.Errorf("kdd12 = %+v", st)
+	}
+	if !st.Determined {
+		t.Error("kdd12 should be determined")
+	}
+	st, _ = PaperStats("kddb")
+	if st.Determined {
+		t.Error("kddb should be underdetermined")
+	}
+}
+
+func TestPartitionCoversAll(t *testing.T) {
+	d := Generate(Spec{Name: "t", Rows: 103, Cols: 20, NNZPerRow: 3, Seed: 1})
+	parts := d.Partition(8, 99)
+	total := 0
+	sizes := map[int]bool{}
+	for _, p := range parts {
+		total += len(p)
+		sizes[len(p)] = true
+	}
+	if total != 103 {
+		t.Errorf("total = %d", total)
+	}
+	if len(sizes) > 2 {
+		t.Errorf("partition sizes should differ by at most one: %v", sizes)
+	}
+	// Deterministic given the seed.
+	parts2 := d.Partition(8, 99)
+	if !reflect.DeepEqual(parts[0], parts2[0]) {
+		t.Error("partitioning not deterministic")
+	}
+}
+
+func TestSubsample(t *testing.T) {
+	d := Generate(Spec{Name: "t", Rows: 100, Cols: 20, NNZPerRow: 3, Seed: 1})
+	s := d.Subsample(10, 5)
+	if len(s.Examples) != 10 || s.Features != 20 {
+		t.Errorf("subsample = %d x %d", len(s.Examples), s.Features)
+	}
+	if got := d.Subsample(1000, 5); got != d {
+		t.Error("oversized subsample should return the dataset itself")
+	}
+}
+
+func TestLibSVMRoundTrip(t *testing.T) {
+	prop := func(seed int64) bool {
+		d := Generate(Spec{Name: "t", Rows: 30, Cols: 40, NNZPerRow: 5, Seed: seed})
+		var buf bytes.Buffer
+		if err := WriteLibSVM(&buf, d); err != nil {
+			return false
+		}
+		got, err := ReadLibSVM(&buf, "t")
+		if err != nil {
+			return false
+		}
+		if len(got.Examples) != len(d.Examples) {
+			return false
+		}
+		for i := range d.Examples {
+			a, b := d.Examples[i], got.Examples[i]
+			if a.Label != b.Label || !reflect.DeepEqual(a.X.Ind, b.X.Ind) {
+				return false
+			}
+			for j := range a.X.Val {
+				if math.Abs(a.X.Val[j]-b.X.Val[j]) > 1e-12 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadLibSVMLabelConventions(t *testing.T) {
+	in := "+1 1:0.5 3:1\n0 2:2\n# comment\n\n-1 1:1\n"
+	d, err := ReadLibSVM(strings.NewReader(in), "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Examples) != 3 {
+		t.Fatalf("n = %d", len(d.Examples))
+	}
+	if d.Examples[0].Label != 1 || d.Examples[1].Label != -1 || d.Examples[2].Label != -1 {
+		t.Errorf("labels = %v %v %v", d.Examples[0].Label, d.Examples[1].Label, d.Examples[2].Label)
+	}
+	// 1-based on disk -> 0-based in memory; features tracks the max index.
+	if d.Examples[0].X.Ind[0] != 0 || d.Examples[0].X.Ind[1] != 2 {
+		t.Errorf("indices = %v", d.Examples[0].X.Ind)
+	}
+	if d.Features != 3 {
+		t.Errorf("features = %d", d.Features)
+	}
+}
+
+func TestReadLibSVMErrors(t *testing.T) {
+	cases := []string{
+		"x 1:1",     // bad label
+		"1 nope",    // malformed feature
+		"1 0:1",     // index < 1
+		"1 2:1 1:1", // decreasing indices
+		"1 1:abc",   // bad value
+	}
+	for _, in := range cases {
+		if _, err := ReadLibSVM(strings.NewReader(in), "x"); err == nil {
+			t.Errorf("input %q: want error", in)
+		}
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	d := Generate(Spec{Name: "t", Rows: 100, Cols: 20, NNZPerRow: 3, Seed: 1})
+	s := d.Stats().String()
+	if !strings.Contains(s, "instances") || !strings.Contains(s, "determined") {
+		t.Errorf("stats string = %q", s)
+	}
+}
+
+func TestSplit(t *testing.T) {
+	d := Generate(Spec{Name: "t", Rows: 100, Cols: 20, NNZPerRow: 3, Seed: 1})
+	train, test, err := d.Split(0.2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(train.Examples) != 80 || len(test.Examples) != 20 {
+		t.Errorf("split = %d/%d", len(train.Examples), len(test.Examples))
+	}
+	if train.Features != 20 || test.Features != 20 {
+		t.Error("features not propagated")
+	}
+	// Deterministic.
+	tr2, _, _ := d.Split(0.2, 7)
+	if !reflect.DeepEqual(train.Examples[0], tr2.Examples[0]) {
+		t.Error("split not deterministic")
+	}
+	if _, _, err := d.Split(0, 7); err == nil {
+		t.Error("want error for fraction 0")
+	}
+	if _, _, err := (&Dataset{}).Split(0.5, 7); err == nil {
+		t.Error("want error for empty dataset")
+	}
+}
+
+func TestKFold(t *testing.T) {
+	d := Generate(Spec{Name: "t", Rows: 103, Cols: 20, NNZPerRow: 3, Seed: 1})
+	folds, err := d.KFold(5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(folds) != 5 {
+		t.Fatalf("folds = %d", len(folds))
+	}
+	totalTest := 0
+	for i, f := range folds {
+		totalTest += len(f.Test.Examples)
+		if len(f.Train.Examples)+len(f.Test.Examples) != 103 {
+			t.Errorf("fold %d sizes: %d + %d != 103", i, len(f.Train.Examples), len(f.Test.Examples))
+		}
+	}
+	if totalTest != 103 {
+		t.Errorf("test folds cover %d examples, want 103", totalTest)
+	}
+	if _, err := d.KFold(1, 7); err == nil {
+		t.Error("want error for k=1")
+	}
+}

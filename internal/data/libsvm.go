@@ -1,0 +1,103 @@
+package data
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"mllibstar/internal/glm"
+	"mllibstar/internal/vec"
+)
+
+// WriteLibSVM writes the dataset in libsvm text format: one example per
+// line, "label index:value ...", with 1-based feature indices as the format
+// prescribes (in-memory indices are 0-based).
+func WriteLibSVM(w io.Writer, d *Dataset) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range d.Examples {
+		if _, err := fmt.Fprintf(bw, "%g", e.Label); err != nil {
+			return err
+		}
+		for i, ix := range e.X.Ind {
+			if _, err := fmt.Fprintf(bw, " %d:%g", ix+1, e.X.Val[i]); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadLibSVM parses libsvm text into a dataset. Labels "1"/"+1" map to +1
+// and "0"/"-1" to -1 (both labelling conventions appear in the public
+// datasets the paper uses). Feature indices are 1-based in the file and
+// converted to 0-based. Blank lines and lines starting with '#' are skipped.
+func ReadLibSVM(r io.Reader, name string) (*Dataset, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	d := &Dataset{Name: name}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		label, err := parseLabel(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("data: line %d: %v", lineNo, err)
+		}
+		ind := make([]int32, 0, len(fields)-1)
+		val := make([]float64, 0, len(fields)-1)
+		for _, f := range fields[1:] {
+			colon := strings.IndexByte(f, ':')
+			if colon < 0 {
+				return nil, fmt.Errorf("data: line %d: malformed feature %q", lineNo, f)
+			}
+			ix, err := strconv.Atoi(f[:colon])
+			if err != nil || ix < 1 {
+				return nil, fmt.Errorf("data: line %d: bad index %q", lineNo, f[:colon])
+			}
+			v, err := strconv.ParseFloat(f[colon+1:], 64)
+			if err != nil {
+				return nil, fmt.Errorf("data: line %d: bad value %q", lineNo, f[colon+1:])
+			}
+			ind = append(ind, int32(ix-1))
+			val = append(val, v)
+		}
+		x, err := vec.NewSparse(ind, val)
+		if err != nil {
+			return nil, fmt.Errorf("data: line %d: %v", lineNo, err)
+		}
+		if mx := int(x.MaxIndex()) + 1; mx > d.Features {
+			d.Features = mx
+		}
+		d.Examples = append(d.Examples, glm.Example{Label: label, X: x})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("data: reading libsvm: %w", err)
+	}
+	return d, nil
+}
+
+func parseLabel(s string) (float64, error) {
+	switch s {
+	case "1", "+1", "1.0", "+1.0":
+		return 1, nil
+	case "0", "-1", "0.0", "-1.0":
+		return -1, nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad label %q", s)
+	}
+	if v > 0 {
+		return 1, nil
+	}
+	return -1, nil
+}

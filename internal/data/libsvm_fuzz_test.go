@@ -1,0 +1,53 @@
+package data
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadLibSVM asserts the parser never panics on arbitrary input, and
+// that anything it accepts round-trips through the writer to an equivalent
+// dataset.
+func FuzzReadLibSVM(f *testing.F) {
+	seeds := []string{
+		"",
+		"1 1:0.5 3:1\n0 2:2\n",
+		"+1 1:1\n-1 2:-0.75\n",
+		"# comment\n\n1 1:1\n",
+		"1 1:1e300\n",
+		"1 0:1\n",     // invalid: index < 1
+		"1 2:1 1:1\n", // invalid: decreasing
+		"x 1:1\n",     // invalid label
+		"1 1:\n",      // empty value
+		"1 :\n",       // empty both
+		"1 1:nan\n",   // NaN parses as float; must round-trip or error
+		strings.Repeat("1 1:1 2:2 3:3\n", 5),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		ds, err := ReadLibSVM(strings.NewReader(input), "fuzz")
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		var buf bytes.Buffer
+		if err := WriteLibSVM(&buf, ds); err != nil {
+			t.Fatalf("accepted dataset failed to serialize: %v", err)
+		}
+		back, err := ReadLibSVM(&buf, "fuzz")
+		if err != nil {
+			t.Fatalf("writer output rejected by reader: %v\noutput: %q", err, buf.String())
+		}
+		if len(back.Examples) != len(ds.Examples) {
+			t.Fatalf("round trip changed example count: %d -> %d", len(ds.Examples), len(back.Examples))
+		}
+		for i := range ds.Examples {
+			a, b := ds.Examples[i], back.Examples[i]
+			if a.Label != b.Label || a.X.NNZ() != b.X.NNZ() {
+				t.Fatalf("example %d changed: %+v -> %+v", i, a, b)
+			}
+		}
+	})
+}

@@ -1,0 +1,92 @@
+package des
+
+import "fmt"
+
+// Barrier synchronizes a fixed set of n processes, the primitive underlying
+// BSP supersteps. Arrive blocks until all n participants of the current
+// generation have arrived; everyone is then released at the arrival time of
+// the slowest participant. The barrier is reusable: generation g+1 starts as
+// soon as generation g has been released.
+type Barrier struct {
+	sim     *Sim
+	name    string
+	n       int
+	arrived int
+	gen     int
+	waiting []*Proc
+}
+
+// NewBarrier returns a barrier for n participants.
+func NewBarrier(sim *Sim, name string, n int) *Barrier {
+	if n <= 0 {
+		panic(fmt.Sprintf("des: NewBarrier(%d) %q", n, name))
+	}
+	return &Barrier{sim: sim, name: name, n: n}
+}
+
+// N returns the number of participants.
+func (b *Barrier) N() int { return b.n }
+
+// Arrive registers p at the barrier and blocks until the current generation
+// completes. It returns the generation number that was completed, which
+// callers can use to detect missed supersteps.
+func (b *Barrier) Arrive(p *Proc) int {
+	gen := b.gen
+	b.arrived++
+	if b.arrived == b.n {
+		// Last arrival: release everyone at the current time.
+		b.arrived = 0
+		b.gen++
+		for _, w := range b.waiting {
+			if !w.done {
+				b.sim.schedule(b.sim.now, w)
+			}
+		}
+		b.waiting = b.waiting[:0]
+		return gen
+	}
+	b.waiting = append(b.waiting, p)
+	p.block(fmt.Sprintf("barrier %q gen %d (%d/%d arrived)", b.name, gen, b.arrived, b.n))
+	return gen
+}
+
+// Signal is a one-shot broadcast event: any number of processes can Await it
+// and are all released when Fire is called. Await after Fire returns
+// immediately.
+type Signal struct {
+	sim     *Sim
+	name    string
+	fired   bool
+	waiting []*Proc
+}
+
+// NewSignal returns an unfired signal.
+func NewSignal(sim *Sim, name string) *Signal {
+	return &Signal{sim: sim, name: name}
+}
+
+// Fired reports whether the signal has fired.
+func (s *Signal) Fired() bool { return s.fired }
+
+// Fire releases all current and future waiters. Firing twice is a no-op.
+func (s *Signal) Fire() {
+	if s.fired {
+		return
+	}
+	s.fired = true
+	for _, w := range s.waiting {
+		if !w.done {
+			s.sim.schedule(s.sim.now, w)
+		}
+	}
+	s.waiting = nil
+}
+
+// Await blocks p until the signal fires.
+func (s *Signal) Await(p *Proc) {
+	if s.fired {
+		return
+	}
+	s.waiting = append(s.waiting, p)
+	p.block(fmt.Sprintf("signal %q", s.name))
+}

@@ -1,0 +1,235 @@
+// Package des implements a deterministic discrete-event simulation kernel.
+//
+// A Sim owns a virtual clock and a set of processes. Each process is a
+// goroutine, but the kernel enforces that exactly one process is runnable at
+// any moment: a process runs until it blocks on a simulation primitive
+// (Wait, Queue.Get, Resource.Acquire, ...), at which point control returns
+// to the kernel, which advances the clock to the next scheduled event and
+// resumes the corresponding process. Events at equal times fire in the order
+// they were scheduled, so a simulation is fully deterministic: the same
+// program and seeds produce the same event trace, clock values, and results.
+//
+// The kernel is the substrate for the simulated cluster (package simnet),
+// the Spark-like execution engine (package engine), and the parameter-server
+// runtime (package ps).
+package des
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"runtime/debug"
+	"sort"
+)
+
+// killed is the sentinel panic value used to unwind a process when the
+// simulation is shut down while the process is still blocked.
+type killedPanic struct{}
+
+// Sim is a discrete-event simulation instance. It is not safe for concurrent
+// use; all interaction must happen from the goroutine that calls Run (before
+// Run, to spawn the initial processes) or from within process functions.
+type Sim struct {
+	now    float64
+	events eventHeap
+	seq    uint64
+	yield  chan struct{} // signalled by a process when it blocks or exits
+	procs  []*Proc
+	nextID int
+	closed bool
+	fault  *procPanic // panic captured from a process, re-raised by the kernel
+}
+
+// procPanic records a panic that escaped a process function.
+type procPanic struct {
+	proc  string
+	value any
+	stack []byte
+}
+
+// New returns an empty simulation with the clock at zero.
+func New() *Sim {
+	return &Sim{yield: make(chan struct{})}
+}
+
+// Now returns the current virtual time in seconds.
+func (s *Sim) Now() float64 { return s.now }
+
+// event is a scheduled wake-up for a process.
+type event struct {
+	at   float64
+	seq  uint64
+	proc *Proc
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (s *Sim) schedule(at float64, p *Proc) {
+	if at < s.now {
+		panic(fmt.Sprintf("des: scheduling event in the past: %g < %g", at, s.now))
+	}
+	s.seq++
+	heap.Push(&s.events, event{at: at, seq: s.seq, proc: p})
+	p.pending++
+}
+
+// Proc is a simulation process. A Proc handle is passed to the process
+// function and is required by every blocking primitive, which keeps the
+// "who is blocking" bookkeeping explicit and cheap.
+type Proc struct {
+	sim     *Sim
+	name    string
+	id      int
+	resume  chan bool // true = run, false = killed
+	done    bool
+	blocked string // description of the primitive the process is blocked on
+	pending int    // number of scheduled wake-ups not yet delivered
+}
+
+// Name returns the process name given at Spawn time.
+func (p *Proc) Name() string { return p.name }
+
+// Sim returns the simulation this process belongs to.
+func (p *Proc) Sim() *Sim { return p.sim }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() float64 { return p.sim.now }
+
+// Spawn creates a process that starts at the current virtual time. The
+// process function runs inside the simulation; it must block only through
+// simulation primitives, never through real channels or time.Sleep.
+func (s *Sim) Spawn(name string, fn func(p *Proc)) *Proc {
+	if s.closed {
+		panic("des: Spawn on a closed simulation")
+	}
+	p := &Proc{sim: s, name: name, id: s.nextID, resume: make(chan bool)}
+	s.nextID++
+	s.procs = append(s.procs, p)
+	go func() {
+		defer func() {
+			p.done = true
+			if r := recover(); r != nil {
+				if _, ok := r.(killedPanic); !ok {
+					// Real bug in a process function: capture it so the
+					// kernel can re-raise on the goroutine running Run.
+					s.fault = &procPanic{proc: p.name, value: r, stack: debug.Stack()}
+				}
+			}
+			s.yield <- struct{}{}
+		}()
+		if !<-p.resume {
+			panic(killedPanic{})
+		}
+		fn(p)
+	}()
+	s.schedule(s.now, p)
+	return p
+}
+
+// switchTo hands control to p and waits until it blocks or exits. A panic
+// that escaped the process function is re-raised here, on the goroutine that
+// called Run, wrapped with the process name and stack.
+func (s *Sim) switchTo(p *Proc) {
+	p.blocked = ""
+	p.resume <- true
+	<-s.yield
+	if f := s.fault; f != nil {
+		s.fault = nil
+		panic(fmt.Sprintf("des: process %q panicked: %v\n%s", f.proc, f.value, f.stack))
+	}
+}
+
+// block returns control to the kernel and waits to be resumed. reason is a
+// human-readable description used in deadlock reports.
+func (p *Proc) block(reason string) {
+	p.blocked = reason
+	p.sim.yield <- struct{}{}
+	if !<-p.resume {
+		panic(killedPanic{})
+	}
+}
+
+// Run executes the simulation until no scheduled events remain, then shuts
+// down any processes still blocked (e.g. servers waiting on request queues)
+// and returns the final virtual time.
+func (s *Sim) Run() float64 {
+	if s.closed {
+		panic("des: Run on a closed simulation")
+	}
+	for s.events.Len() > 0 {
+		ev := heap.Pop(&s.events).(event)
+		ev.proc.pending--
+		if ev.proc.done {
+			continue
+		}
+		if ev.at < s.now {
+			panic("des: clock moved backwards")
+		}
+		s.now = ev.at
+		s.switchTo(ev.proc)
+	}
+	s.shutdown()
+	return s.now
+}
+
+// Blocked reports the processes that are blocked right now, with the
+// primitive each is blocked on. After Run it is empty; it is mainly useful
+// from within a watchdog process when debugging a distributed deadlock.
+func (s *Sim) Blocked() []string {
+	var out []string
+	for _, p := range s.procs {
+		if !p.done && p.blocked != "" {
+			out = append(out, fmt.Sprintf("%s: %s", p.name, p.blocked))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// shutdown unwinds every process still blocked so their goroutines exit.
+func (s *Sim) shutdown() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	for _, p := range s.procs {
+		if !p.done {
+			p.resume <- false
+			<-s.yield
+		}
+	}
+}
+
+// Wait blocks the process for d seconds of virtual time. Negative or NaN
+// durations panic: they always indicate a cost-model bug.
+func (p *Proc) Wait(d float64) {
+	if d < 0 || math.IsNaN(d) {
+		panic(fmt.Sprintf("des: Wait(%g) from %s", d, p.name))
+	}
+	p.WaitUntil(p.sim.now + d)
+}
+
+// WaitUntil blocks the process until virtual time t. If t is in the past the
+// process continues immediately (no time passes, but other processes
+// scheduled earlier still run first at the current instant).
+func (p *Proc) WaitUntil(t float64) {
+	if t < p.sim.now {
+		t = p.sim.now
+	}
+	p.sim.schedule(t, p)
+	p.block(fmt.Sprintf("wait until t=%.6f", t))
+}
+
+// Yield lets every other process scheduled at the current instant run before
+// this one continues. Equivalent to Wait(0).
+func (p *Proc) Yield() { p.Wait(0) }

@@ -1,0 +1,87 @@
+package des
+
+import "fmt"
+
+// Queue is an unbounded FIFO mailbox for values of type T. Put never blocks;
+// Get blocks the calling process until a value is available. When several
+// processes are blocked on Get, values are handed out in the order the
+// getters arrived (FIFO fairness), which keeps simulations deterministic.
+type Queue[T any] struct {
+	sim     *Sim
+	name    string
+	items   []T
+	waiters []*getWaiter[T]
+}
+
+type getWaiter[T any] struct {
+	proc  *Proc
+	value T
+	ready bool
+}
+
+// NewQueue returns an empty mailbox bound to sim. The name appears in
+// deadlock reports.
+func NewQueue[T any](sim *Sim, name string) *Queue[T] {
+	return &Queue[T]{sim: sim, name: name}
+}
+
+// Len returns the number of values currently buffered (not counting values
+// already assigned to blocked getters).
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// Put appends v to the queue. If a process is blocked on Get, the value is
+// assigned to the longest-waiting getter, which is woken at the current
+// virtual time. Put may be called from any process or before Run.
+func (q *Queue[T]) Put(v T) {
+	for len(q.waiters) > 0 {
+		w := q.waiters[0]
+		q.waiters = q.waiters[1:]
+		if w.proc.done {
+			continue
+		}
+		w.value = v
+		w.ready = true
+		q.sim.schedule(q.sim.now, w.proc)
+		return
+	}
+	q.items = append(q.items, v)
+}
+
+// Get removes and returns the oldest value in the queue, blocking p until
+// one is available. Retrieval itself consumes no virtual time.
+func (q *Queue[T]) Get(p *Proc) T {
+	if len(q.items) > 0 {
+		v := q.items[0]
+		q.items = q.items[1:]
+		return v
+	}
+	w := &getWaiter[T]{proc: p}
+	q.waiters = append(q.waiters, w)
+	p.block(fmt.Sprintf("recv on queue %q", q.name))
+	if !w.ready {
+		panic(fmt.Sprintf("des: process %s woken on queue %q without a value", p.name, q.name))
+	}
+	return w.value
+}
+
+// TryGet removes and returns the oldest value without blocking. The second
+// result reports whether a value was available.
+func (q *Queue[T]) TryGet() (T, bool) {
+	var zero T
+	if len(q.items) == 0 {
+		return zero, false
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	return v, true
+}
+
+// GetN blocks until n values have been received and returns them in arrival
+// order.
+func (q *Queue[T]) GetN(p *Proc, n int) []T {
+	out := make([]T, 0, n)
+	for len(out) < n {
+		out = append(out, q.Get(p))
+	}
+	return out
+}

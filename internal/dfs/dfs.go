@@ -1,0 +1,186 @@
+// Package dfs models the distributed file system under the Spark cluster —
+// the HDFS layer the paper's datasets live on ("more than 80% of the data
+// are extracted and transformed using Spark"; Angel "can read data directly
+// from HDFS"). Files are split into blocks, replicated across datanodes
+// co-located with the executors, and read through a per-node disk that
+// serializes concurrent reads, so data loading exhibits the two properties
+// that matter for iterative ML on Spark: locality (a local replica skips
+// the network) and the cache cliff (reloading instead of caching pays the
+// full disk+network cost every epoch).
+package dfs
+
+import (
+	"fmt"
+
+	"mllibstar/internal/des"
+	"mllibstar/internal/simnet"
+)
+
+// Config describes a DFS deployment.
+type Config struct {
+	// Nodes are the datanode host names (typically the executor nodes).
+	Nodes []string
+	// BlockBytes is the block size (HDFS default 128 MB; scale to taste).
+	BlockBytes float64
+	// Replication is the number of copies per block (HDFS default 3).
+	Replication int
+	// DiskBW is the sequential read bandwidth of each datanode's disk, in
+	// bytes per second.
+	DiskBW float64
+}
+
+// Validate rejects nonsensical configurations.
+func (c Config) Validate() error {
+	if len(c.Nodes) == 0 {
+		return fmt.Errorf("dfs: no datanodes")
+	}
+	if c.BlockBytes <= 0 || c.DiskBW <= 0 {
+		return fmt.Errorf("dfs: block size %g / disk bw %g must be positive", c.BlockBytes, c.DiskBW)
+	}
+	if c.Replication < 1 || c.Replication > len(c.Nodes) {
+		return fmt.Errorf("dfs: replication %d out of [1, %d]", c.Replication, len(c.Nodes))
+	}
+	return nil
+}
+
+// Block is one stored block of a file.
+type Block struct {
+	Index    int
+	Bytes    float64
+	Replicas []int // datanode indices holding a copy
+}
+
+// File is a stored file's metadata.
+type File struct {
+	Name   string
+	Bytes  float64
+	Blocks []Block
+}
+
+// FS is a running DFS deployment: one datanode server process per node.
+type FS struct {
+	cfg   Config
+	net   *simnet.Network
+	files map[string]*File
+}
+
+type readReq struct {
+	bytes    float64
+	replyTo  string
+	replyTag string
+}
+
+// New spawns the datanode processes and returns the filesystem handle.
+func New(sim *des.Sim, net *simnet.Network, cfg Config) (*FS, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	fs := &FS{cfg: cfg, net: net, files: map[string]*File{}}
+	for i, name := range cfg.Nodes {
+		i, name := i, name
+		node := net.Node(name)
+		disk := des.NewResource(sim, name+"/disk")
+		sim.Spawn(fmt.Sprintf("dfs:datanode%d", i), func(p *des.Proc) {
+			for {
+				msg := node.Recv(p, dataTag(i))
+				req := msg.Payload.(readReq)
+				// Sequential disk read, FIFO across concurrent requests.
+				disk.Acquire(p, req.bytes/cfg.DiskBW)
+				if req.replyTo == name {
+					// Local read: no network transfer, just notify.
+					node.Send(p, req.replyTo, req.replyTag, 0, nil)
+				} else {
+					node.Send(p, req.replyTo, req.replyTag, req.bytes, nil)
+				}
+			}
+		})
+	}
+	return fs, nil
+}
+
+func dataTag(node int) string { return fmt.Sprintf("dfs.read%d", node) }
+
+// Store registers a file of the given size: blocks are placed round-robin
+// with the configured replication (replicas on consecutive nodes, as HDFS
+// does within a rack). Storing is metadata-only; the write path is not
+// modelled (the paper's datasets pre-exist).
+func (fs *FS) Store(name string, bytes float64) (*File, error) {
+	if _, dup := fs.files[name]; dup {
+		return nil, fmt.Errorf("dfs: file %q already exists", name)
+	}
+	if bytes <= 0 {
+		return nil, fmt.Errorf("dfs: file size %g", bytes)
+	}
+	f := &File{Name: name, Bytes: bytes}
+	n := len(fs.cfg.Nodes)
+	for off, idx := 0.0, 0; off < bytes; off, idx = off+fs.cfg.BlockBytes, idx+1 {
+		size := fs.cfg.BlockBytes
+		if off+size > bytes {
+			size = bytes - off
+		}
+		replicas := make([]int, fs.cfg.Replication)
+		for r := range replicas {
+			replicas[r] = (idx + r) % n
+		}
+		f.Blocks = append(f.Blocks, Block{Index: idx, Bytes: size, Replicas: replicas})
+	}
+	fs.files[name] = f
+	return f, nil
+}
+
+// Open returns a stored file's metadata.
+func (fs *FS) Open(name string) (*File, error) {
+	f, ok := fs.files[name]
+	if !ok {
+		return nil, fmt.Errorf("dfs: no such file %q", name)
+	}
+	return f, nil
+}
+
+// nodeIndex maps a node name to its datanode index, or -1.
+func (fs *FS) nodeIndex(name string) int {
+	for i, n := range fs.cfg.Nodes {
+		if n == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// ReadBlock reads one block from the given client node, blocking p until
+// the data has arrived. It prefers a replica local to the client (disk cost
+// only); otherwise it reads from the block's first replica over the
+// network. It returns whether the read was local.
+func (fs *FS) ReadBlock(p *des.Proc, clientNode string, f *File, index int) (local bool) {
+	if index < 0 || index >= len(f.Blocks) {
+		panic(fmt.Sprintf("dfs: block %d of %q out of range", index, f.Name))
+	}
+	b := f.Blocks[index]
+	client := fs.net.Node(clientNode)
+	ci := fs.nodeIndex(clientNode)
+	source := b.Replicas[0]
+	for _, r := range b.Replicas {
+		if r == ci {
+			source, local = r, true
+			break
+		}
+	}
+	replyTag := fmt.Sprintf("dfs.resp.%s.%s.%d", clientNode, f.Name, index)
+	client.Send(p, fs.cfg.Nodes[source], dataTag(source), 64,
+		readReq{bytes: b.Bytes, replyTo: clientNode, replyTag: replyTag})
+	client.Recv(p, replyTag)
+	return local
+}
+
+// BlocksFor partitions a file's blocks over k readers: reader i gets the
+// blocks whose index ≡ i (mod k), which with round-robin placement aligns
+// readers with local replicas.
+func (f *File) BlocksFor(i, k int) []int {
+	var out []int
+	for idx := range f.Blocks {
+		if idx%k == i {
+			out = append(out, idx)
+		}
+	}
+	return out
+}

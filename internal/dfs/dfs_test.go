@@ -1,0 +1,166 @@
+package dfs_test
+
+import (
+	"testing"
+
+	"mllibstar/internal/clusters"
+	"mllibstar/internal/des"
+	"mllibstar/internal/dfs"
+	"mllibstar/internal/simnet"
+)
+
+func build(t *testing.T, nodes int, cfg dfs.Config) (*des.Sim, *simnet.Network, []string, *dfs.FS) {
+	t.Helper()
+	sim, net, names := clusters.Test(nodes).BuildNet(nil)
+	cfg.Nodes = names
+	fs, err := dfs.New(sim, net, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim, net, names, fs
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []dfs.Config{
+		{},
+		{Nodes: []string{"a"}, BlockBytes: 0, DiskBW: 1},
+		{Nodes: []string{"a"}, BlockBytes: 1, DiskBW: 0},
+		{Nodes: []string{"a"}, BlockBytes: 1, DiskBW: 1, Replication: 2},
+		{Nodes: []string{"a"}, BlockBytes: 1, DiskBW: 1, Replication: 0},
+	}
+	for i, c := range bad {
+		if c.Validate() == nil {
+			t.Errorf("case %d: want error for %+v", i, c)
+		}
+	}
+}
+
+func TestStoreSplitsAndReplicates(t *testing.T) {
+	_, _, _, fs := build(t, 4, dfs.Config{BlockBytes: 100, Replication: 2, DiskBW: 1000})
+	f, err := fs.Store("data", 250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Blocks) != 3 {
+		t.Fatalf("blocks = %d, want 3", len(f.Blocks))
+	}
+	if f.Blocks[2].Bytes != 50 {
+		t.Errorf("last block = %g bytes, want 50", f.Blocks[2].Bytes)
+	}
+	for _, b := range f.Blocks {
+		if len(b.Replicas) != 2 || b.Replicas[0] == b.Replicas[1] {
+			t.Errorf("block %d replicas = %v", b.Index, b.Replicas)
+		}
+	}
+	if _, err := fs.Store("data", 10); err == nil {
+		t.Error("duplicate store should fail")
+	}
+	if _, err := fs.Open("nope"); err == nil {
+		t.Error("open missing should fail")
+	}
+}
+
+func TestLocalReadSkipsNetwork(t *testing.T) {
+	sim, net, names, fs := build(t, 2, dfs.Config{BlockBytes: 1000, Replication: 1, DiskBW: 1e4})
+	f, _ := fs.Store("data", 1000) // one block on node 0
+	var local bool
+	sim.Spawn("client", func(p *des.Proc) {
+		local = fs.ReadBlock(p, names[0], f, 0)
+	})
+	sim.Run()
+	if !local {
+		t.Error("read from the replica holder should be local")
+	}
+	// Only the 64-byte request moved on the network.
+	if got := net.TotalBytes(); got != 64 {
+		t.Errorf("network bytes = %g, want 64 (request only)", got)
+	}
+}
+
+func TestRemoteReadPaysNetwork(t *testing.T) {
+	sim, net, names, fs := build(t, 2, dfs.Config{BlockBytes: 1000, Replication: 1, DiskBW: 1e4})
+	f, _ := fs.Store("data", 1000)
+	var local bool
+	var done float64
+	sim.Spawn("client", func(p *des.Proc) {
+		local = fs.ReadBlock(p, names[1], f, 0) // replica is on node 0
+		done = p.Now()
+	})
+	sim.Run()
+	if local {
+		t.Error("read should be remote")
+	}
+	if net.TotalBytes() < 1000 {
+		t.Errorf("network bytes = %g, want >= block size", net.TotalBytes())
+	}
+	// Disk (0.1s) plus network transfer (1000B at 1e7 B/s) plus latencies.
+	if done < 0.1 {
+		t.Errorf("remote read finished at %g, before the disk could deliver", done)
+	}
+}
+
+func TestDiskSerializesConcurrentReads(t *testing.T) {
+	sim, _, names, fs := build(t, 1, dfs.Config{BlockBytes: 1000, Replication: 1, DiskBW: 1e4})
+	f, _ := fs.Store("data", 3000) // 3 blocks, all on node 0
+	var done float64
+	sim.Spawn("client", func(p *des.Proc) {
+		for i := 0; i < 3; i++ {
+			fs.ReadBlock(p, names[0], f, i)
+		}
+		done = p.Now()
+	})
+	sim.Run()
+	// Three sequential 0.1s disk reads.
+	if done < 0.3 {
+		t.Errorf("3 reads finished at %g, want >= 0.3 (disk serialization)", done)
+	}
+}
+
+func TestBlocksForAlignsWithPlacement(t *testing.T) {
+	_, _, _, fs := build(t, 4, dfs.Config{BlockBytes: 10, Replication: 1, DiskBW: 1e4})
+	f, _ := fs.Store("data", 80) // 8 blocks round-robin on 4 nodes
+	covered := map[int]bool{}
+	for i := 0; i < 4; i++ {
+		for _, idx := range f.BlocksFor(i, 4) {
+			if covered[idx] {
+				t.Errorf("block %d assigned twice", idx)
+			}
+			covered[idx] = true
+			// Round-robin placement means reader i's blocks live on node i.
+			if f.Blocks[idx].Replicas[0] != i {
+				t.Errorf("block %d primary replica on %d, reader %d", idx, f.Blocks[idx].Replicas[0], i)
+			}
+		}
+	}
+	if len(covered) != 8 {
+		t.Errorf("covered %d blocks, want 8", len(covered))
+	}
+}
+
+func TestParallelReadersScale(t *testing.T) {
+	// k readers each reading their local blocks finish in ~1/k the time of
+	// one reader reading everything.
+	cfg := dfs.Config{BlockBytes: 1000, Replication: 1, DiskBW: 1e4}
+	elapsed := func(readers int) float64 {
+		sim, _, names, fs := build(t, 4, cfg)
+		f, _ := fs.Store("data", 8000)
+		var max float64
+		for r := 0; r < readers; r++ {
+			r := r
+			sim.Spawn("reader", func(p *des.Proc) {
+				for _, idx := range f.BlocksFor(r, readers) {
+					fs.ReadBlock(p, names[r%4], f, idx)
+				}
+				if p.Now() > max {
+					max = p.Now()
+				}
+			})
+		}
+		sim.Run()
+		return max
+	}
+	one, four := elapsed(1), elapsed(4)
+	if four > one/2 {
+		t.Errorf("4 readers took %g vs 1 reader %g — no parallel speedup", four, one)
+	}
+}

@@ -1,0 +1,84 @@
+package engine
+
+import (
+	"testing"
+
+	"mllibstar/internal/des"
+)
+
+func TestAccumulatorSumsAcrossTasks(t *testing.T) {
+	sim, _, ctx := testCluster(3, DefaultConfig())
+	acc := NewAccumulator(ctx, "rows")
+	runOnDriver(sim, func(p *des.Proc) {
+		tasks := make([]Task, 3)
+		for i := range tasks {
+			i := i
+			tasks[i] = Task{Exec: ctx.RoundRobin(i), Run: func(p *des.Proc, ex *Executor) (any, float64) {
+				acc.Add(ex, float64(i+1))
+				acc.Add(ex, 10) // multiple adds within one task accumulate
+				return nil, 0
+			}}
+		}
+		ctx.RunStage(p, "s", tasks)
+		if got := acc.Value(); got != 1+2+3+30 {
+			t.Errorf("value = %g, want 36", got)
+		}
+	})
+}
+
+func TestAccumulatorAcrossStages(t *testing.T) {
+	sim, _, ctx := testCluster(2, DefaultConfig())
+	acc := NewAccumulator(ctx, "n")
+	runOnDriver(sim, func(p *des.Proc) {
+		for s := 0; s < 3; s++ {
+			tasks := make([]Task, 2)
+			for i := range tasks {
+				tasks[i] = Task{Exec: ctx.RoundRobin(i), Run: func(p *des.Proc, ex *Executor) (any, float64) {
+					acc.Add(ex, 1)
+					return nil, 0
+				}}
+			}
+			ctx.RunStage(p, "s", tasks)
+		}
+		if acc.Value() != 6 {
+			t.Errorf("value = %g, want 6", acc.Value())
+		}
+	})
+}
+
+func TestAccumulatorDeduplicatesSpeculativeCopies(t *testing.T) {
+	// With speculation, both attempts run and both Add — but only the
+	// winner's contribution counts, as in Spark.
+	cfg := Config{TaskBytes: 1, ResultBytes: 1, SpeculationQuantile: 0.5}
+	sim, _, ctx := testCluster(4, cfg)
+	acc := NewAccumulator(ctx, "n")
+	adds := 0
+	runOnDriver(sim, func(p *des.Proc) {
+		tasks := make([]Task, 4)
+		for i := range tasks {
+			i := i
+			home := ctx.RoundRobin(i)
+			tasks[i] = Task{
+				Exec:         home,
+				Speculatable: true,
+				Run: func(p *des.Proc, ex *Executor) (any, float64) {
+					work := 100.0
+					if i == 3 && ex.Name() == home {
+						work = 100000
+					}
+					ex.Charge(p, work)
+					acc.Add(ex, 1)
+					adds++
+					return nil, 0
+				},
+			}
+		}
+		ctx.RunStage(p, "s", tasks)
+		if acc.Value() != 4 {
+			t.Errorf("value = %g, want 4 (one per task, not per attempt)", acc.Value())
+		}
+	})
+	if adds <= 4 {
+		t.Fatalf("speculation never ran a duplicate (adds = %d); test is vacuous", adds)
+	}
+}

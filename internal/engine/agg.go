@@ -1,0 +1,96 @@
+package engine
+
+import (
+	"fmt"
+
+	"mllibstar/internal/des"
+	"mllibstar/internal/trace"
+	"mllibstar/internal/vec"
+)
+
+// FloatBytes is the wire size of one float64 model coordinate.
+const FloatBytes = 8
+
+// TreeAggregateVec runs compute on every executor to produce a partial dense
+// vector of length dim, then aggregates the partials into the driver through
+// `aggregators` intermediate executors — MLlib's treeAggregate. With
+// aggregators == number of executors the hierarchy degenerates to direct
+// aggregation at the driver; MLlib's default depth-2 tree corresponds to
+// roughly sqrt(k) aggregators.
+//
+// payloadBytes extra bytes are shipped with each task descriptor; MLlib uses
+// this to broadcast the current model to every executor. compute performs
+// and charges its own work and receives the task index (use it — not the
+// executor's name — to select the data partition, so speculative copies and
+// failure rerouting compute the right partition on any host). The returned
+// vector is the element-wise sum of all partials. name must be unique per
+// call (it namespaces the shuffle tag); the per-iteration step counter is
+// the natural choice.
+func (ctx *Context) TreeAggregateVec(p *des.Proc, name string, dim, aggregators int,
+	payloadBytes float64, compute func(p *des.Proc, ex *Executor, task int) []float64) []float64 {
+
+	k := ctx.NumExecutors()
+	if aggregators <= 0 || aggregators > k {
+		aggregators = k
+	}
+	tag := "agg:" + name
+	vecBytes := float64(dim) * FloatBytes
+
+	// Executor index i belongs to group i%aggregators, whose aggregator is
+	// the executor with index i%aggregators.
+	groupSize := make([]int, aggregators)
+	for i := 0; i < k; i++ {
+		groupSize[i%aggregators]++
+	}
+
+	tasks := make([]Task, k)
+	for i := 0; i < k; i++ {
+		i := i
+		group := i % aggregators
+		isAgg := i < aggregators
+		aggName := ctx.Cluster.Execs[group]
+		tasks[i] = Task{
+			Exec:         ctx.Cluster.Execs[i],
+			PayloadBytes: payloadBytes,
+			// With flat aggregation every task is a pure compute-and-reply
+			// (no peer messaging), so speculative copies are safe.
+			Speculatable: aggregators >= k,
+			Run: func(p *des.Proc, ex *Executor) (any, float64) {
+				partial := compute(p, ex, i)
+				if len(partial) != dim {
+					panic(fmt.Sprintf("engine: partial dim %d != %d", len(partial), dim))
+				}
+				if !isAgg {
+					// Forward the partial to the group's aggregator and
+					// return an empty result to the driver.
+					ex.Send(p, aggName, tag, vecBytes, partial)
+					return nil, 0
+				}
+				// Aggregator: fold in the group members' partials.
+				for m := 1; m < groupSize[group]; m++ {
+					msg := ex.Recv(p, tag)
+					ex.ChargeKind(p, float64(dim), trace.Aggregate, name)
+					vec.AddScaled(partial, msg.Payload.([]float64), 1)
+				}
+				return partial, vecBytes
+			},
+		}
+	}
+
+	results := ctx.RunStage(p, name, tasks)
+	driver := ctx.Cluster.Net.Node(ctx.Cluster.Driver)
+	var total []float64
+	for _, r := range results {
+		if r == nil {
+			continue
+		}
+		part := r.([]float64)
+		if total == nil {
+			total = vec.Copy(part)
+			continue
+		}
+		driver.ComputeKind(p, float64(dim), trace.Aggregate, name)
+		vec.AddScaled(total, part, 1)
+	}
+	return total
+}

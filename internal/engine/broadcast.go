@@ -1,0 +1,59 @@
+package engine
+
+import (
+	"mllibstar/internal/des"
+	"mllibstar/internal/vec"
+)
+
+// BroadcastVec models distributing a dim-length dense vector from the
+// driver to every executor, in one of Spark's two broadcast styles. It is a
+// cost-model primitive: trainers share the actual values through closures
+// (the simulation is logically shared-memory); what differs is the traffic
+// and latency charged.
+//
+//   - naive (torrent=false): the driver ships the full vector with each
+//     task descriptor — k·m bytes serialized through the driver's outbound
+//     NIC. This is how MLlib's per-iteration model closure behaves and is
+//     half of bottleneck B2.
+//   - torrent (torrent=true): Spark's TorrentBroadcast. The driver ships
+//     only the j-th chunk (m/k bytes) to executor j — m bytes total leaving
+//     the driver — and the executors reassemble the full vector by
+//     exchanging chunks among themselves (an AllGather shuffle round).
+//
+// The call runs one stage and returns when every executor holds the vector.
+func (ctx *Context) BroadcastVec(p *des.Proc, name string, dim int, torrent bool) {
+	k := ctx.NumExecutors()
+	vecBytes := float64(dim) * FloatBytes
+	tasks := make([]Task, k)
+	for i := 0; i < k; i++ {
+		i := i
+		payload := vecBytes // naive: full vector per executor
+		if torrent && k > 1 {
+			lo, hi := vec.PartitionRange(dim, k, i)
+			payload = float64(hi-lo) * FloatBytes
+		}
+		tasks[i] = Task{
+			Exec:         ctx.Cluster.Execs[i],
+			PayloadBytes: payload,
+			Run: func(p *des.Proc, ex *Executor) (any, float64) {
+				if torrent && k > 1 {
+					// AllGather: send my chunk to every peer, collect
+					// theirs.
+					lo, hi := vec.PartitionRange(dim, k, i)
+					outgoing := make([]Block, 0, k-1)
+					for j := 0; j < k; j++ {
+						if j == i {
+							continue
+						}
+						outgoing = append(outgoing, Block{
+							To: j, Bytes: float64(hi-lo) * FloatBytes,
+						})
+					}
+					Exchange(p, ex, ctx.Cluster.Execs, i, name, outgoing)
+				}
+				return nil, 0
+			},
+		}
+	}
+	ctx.RunStage(p, name, tasks)
+}

@@ -1,0 +1,156 @@
+package engine
+
+import (
+	"fmt"
+
+	"mllibstar/internal/des"
+)
+
+// Repartition redistributes an RDD's elements into numParts partitions of
+// near-equal size via a shuffle round (Spark's repartition). Elements keep
+// no key affinity; partition i of the result holds every input element
+// whose global round-robin index maps to i. The result is materialized (the
+// shuffle is a stage boundary, as in Spark).
+func Repartition[T any](p *des.Proc, r *RDD[T], name string, bytesPerElem float64, numParts int) *RDD[T] {
+	if numParts <= 0 {
+		panic(fmt.Sprintf("engine: Repartition(%d)", numParts))
+	}
+	ctx := r.ctx
+	k := ctx.NumExecutors()
+	// Stage 1: collect elements per executor, bucket round-robin over the
+	// target partitions, exchange so executor e holds the target partitions
+	// assigned to it (partition q lives on executor q%k).
+	buckets := make([][]T, numParts)
+	tasks := make([]Task, k)
+	for e := 0; e < k; e++ {
+		e := e
+		tasks[e] = Task{
+			Exec: ctx.Cluster.Execs[e],
+			Run: func(p *des.Proc, ex *Executor) (any, float64) {
+				// Local elements of every partition pinned here, bucketed
+				// round-robin by a deterministic running index.
+				local := make([][]T, numParts)
+				n := 0
+				for pi := 0; pi < r.parts; pi++ {
+					if pi%k != e {
+						continue
+					}
+					for j, v := range r.materialize(p, ex, pi) {
+						q := (pi + j) % numParts
+						local[q] = append(local[q], v)
+						n++
+					}
+				}
+				if n > 0 {
+					ex.Charge(p, float64(n))
+				}
+				// Ship each target partition's share to its owner.
+				type shipment struct {
+					parts [][]T
+				}
+				out := make([]Block, 0, k-1)
+				for d := 0; d < k; d++ {
+					if d == e {
+						continue
+					}
+					ship := shipment{parts: make([][]T, 0)}
+					bytes := 0.0
+					for q := d; q < numParts; q += k {
+						ship.parts = append(ship.parts, local[q])
+						bytes += bytesPerElem * float64(len(local[q]))
+					}
+					out = append(out, Block{To: d, Bytes: bytes, Payload: ship})
+				}
+				// Own shares land directly.
+				owned := make([][]T, 0)
+				for q := e; q < numParts; q += k {
+					owned = append(owned, local[q])
+				}
+				in := Exchange(p, ex, ctx.Cluster.Execs, e, name, out)
+				// Merge: owned and received shipments list this executor's
+				// target partitions in ascending q order.
+				for _, b := range in {
+					ship := b.Payload.(shipment)
+					for i := range ship.parts {
+						owned[i] = append(owned[i], ship.parts[i]...)
+					}
+				}
+				for i, q := 0, e; q < numParts; i, q = i+1, q+k {
+					buckets[q] = owned[i]
+				}
+				return nil, 0
+			},
+		}
+	}
+	ctx.RunStage(p, name, tasks)
+	return Parallelize(ctx, name, buckets)
+}
+
+// Union concatenates two RDDs: the result has the partitions of a followed
+// by the partitions of b, recomputed through their respective lineages.
+func Union[T any](a, b *RDD[T], name string) *RDD[T] {
+	if a.ctx != b.ctx {
+		panic("engine: Union across contexts")
+	}
+	a.ctx.nextRDD++
+	return &RDD[T]{
+		ctx:   a.ctx,
+		id:    a.ctx.nextRDD,
+		name:  name,
+		parts: a.parts + b.parts,
+		compute: func(p *des.Proc, ex *Executor, part int) []T {
+			if part < a.parts {
+				return a.materialize(p, ex, part)
+			}
+			return b.materialize(p, ex, part-a.parts)
+		},
+	}
+}
+
+// CheckpointTo materializes every partition of the RDD, writes it to the
+// given sink (modelling Spark's reliable checkpointing to HDFS), and
+// returns a new RDD whose lineage is truncated at the checkpoint: computing
+// a partition afterwards costs a sink read, never a recomputation.
+//
+// The sink abstracts the storage write/read costs so the engine does not
+// depend on a concrete filesystem; package bench wires it to internal/dfs.
+type CheckpointSink interface {
+	// Write charges the cost of persisting bytes from the given node.
+	Write(p *des.Proc, node string, bytes float64)
+	// Read charges the cost of reading bytes back to the given node.
+	Read(p *des.Proc, node string, bytes float64)
+}
+
+// CheckpointTo writes the RDD through the sink and returns the truncated
+// RDD. bytesPerElem sizes elements for the storage cost model.
+func CheckpointTo[T any](p *des.Proc, r *RDD[T], name string, bytesPerElem float64, sink CheckpointSink) *RDD[T] {
+	ctx := r.ctx
+	saved := make([][]T, r.parts)
+	tasks := make([]Task, r.parts)
+	for i := 0; i < r.parts; i++ {
+		i := i
+		tasks[i] = Task{
+			Exec: r.ExecutorFor(i),
+			Run: func(p *des.Proc, ex *Executor) (any, float64) {
+				data := r.materialize(p, ex, i)
+				sink.Write(p, ex.Name(), bytesPerElem*float64(len(data)))
+				saved[i] = data
+				return nil, 0
+			},
+		}
+	}
+	ctx.RunStage(p, name, tasks)
+
+	ctx.nextRDD++
+	return &RDD[T]{
+		ctx:   ctx,
+		id:    ctx.nextRDD,
+		name:  name,
+		parts: r.parts,
+		compute: func(p *des.Proc, ex *Executor, part int) []T {
+			data := saved[part]
+			sink.Read(p, ex.Name(), bytesPerElem*float64(len(data)))
+			return data
+		},
+	}
+}

@@ -1,0 +1,129 @@
+package engine
+
+import (
+	"sort"
+	"testing"
+
+	"mllibstar/internal/des"
+)
+
+func TestRepartitionPreservesElements(t *testing.T) {
+	sim, _, ctx := testCluster(3, DefaultConfig())
+	runOnDriver(sim, func(p *des.Proc) {
+		rdd := Parallelize(ctx, "nums", makeParts(3, 5)) // 0..14
+		re := Repartition(p, rdd, "re", 8, 5)
+		if re.NumPartitions() != 5 {
+			t.Fatalf("parts = %d", re.NumPartitions())
+		}
+		var all []int
+		sizes := map[int]bool{}
+		for _, part := range Collect(p, re, 8) {
+			all = append(all, part...)
+			sizes[len(part)] = true
+		}
+		sort.Ints(all)
+		if len(all) != 15 {
+			t.Fatalf("elements = %d", len(all))
+		}
+		for i, v := range all {
+			if v != i {
+				t.Fatalf("element %d = %d", i, v)
+			}
+		}
+		if len(sizes) > 2 {
+			t.Errorf("partition sizes should be near-equal, got %v", sizes)
+		}
+	})
+}
+
+func TestRepartitionDownToOne(t *testing.T) {
+	sim, _, ctx := testCluster(2, DefaultConfig())
+	runOnDriver(sim, func(p *des.Proc) {
+		rdd := Parallelize(ctx, "nums", makeParts(2, 3))
+		re := Repartition(p, rdd, "re", 8, 1)
+		got := Collect(p, re, 8)
+		if len(got) != 1 || len(got[0]) != 6 {
+			t.Errorf("collect = %v", got)
+		}
+	})
+}
+
+func TestUnion(t *testing.T) {
+	sim, _, ctx := testCluster(2, DefaultConfig())
+	runOnDriver(sim, func(p *des.Proc) {
+		a := Parallelize(ctx, "a", [][]int{{1, 2}, {3}})
+		b := Parallelize(ctx, "b", [][]int{{4}})
+		u := Union(a, b, "u")
+		if n := Count(p, u); n != 4 {
+			t.Errorf("count = %d", n)
+		}
+		sum := Reduce(p, u, 8, 1, func(x, y int) int { return x + y })
+		if sum != 10 {
+			t.Errorf("sum = %d", sum)
+		}
+	})
+}
+
+// countingSink records checkpoint IO for assertions.
+type countingSink struct {
+	writes, reads int
+	bytes         float64
+}
+
+func (s *countingSink) Write(p *des.Proc, node string, bytes float64) {
+	s.writes++
+	s.bytes += bytes
+	p.Wait(bytes / 1e6)
+}
+
+func (s *countingSink) Read(p *des.Proc, node string, bytes float64) {
+	s.reads++
+	p.Wait(bytes / 1e6)
+}
+
+func TestCheckpointTruncatesLineage(t *testing.T) {
+	sim, _, ctx := testCluster(2, DefaultConfig())
+	sink := &countingSink{}
+	computes := 0
+	runOnDriver(sim, func(p *des.Proc) {
+		base := Parallelize(ctx, "nums", makeParts(2, 4))
+		mapped := Map(base, "m", 0, func(v int) int { computes++; return v + 1 })
+		cp := CheckpointTo(p, mapped, "cp", 8, sink)
+		if sink.writes != 2 {
+			t.Errorf("writes = %d, want one per partition", sink.writes)
+		}
+		afterWrite := computes
+		// Actions on the checkpointed RDD read from the sink, never
+		// recompute the map.
+		if n := Count(p, cp); n != 8 {
+			t.Errorf("count = %d", n)
+		}
+		if computes != afterWrite {
+			t.Errorf("lineage not truncated: %d extra computes", computes-afterWrite)
+		}
+		if sink.reads == 0 {
+			t.Error("no sink reads charged")
+		}
+	})
+}
+
+func TestCheckpointSurvivesExecutorFailure(t *testing.T) {
+	// Unlike a cached RDD, a checkpointed RDD does not recompute after an
+	// executor failure — the data comes back from stable storage.
+	sim, cl, ctx := testCluster(2, DefaultConfig())
+	sink := &countingSink{}
+	computes := 0
+	runOnDriver(sim, func(p *des.Proc) {
+		base := Parallelize(ctx, "nums", makeParts(2, 4))
+		mapped := Map(base, "m", 0, func(v int) int { computes++; return v + 1 })
+		cp := CheckpointTo(p, mapped, "cp", 8, sink)
+		before := computes
+		cl.FailExecutor("exec0")
+		if n := Count(p, cp); n != 8 {
+			t.Errorf("count = %d", n)
+		}
+		if computes != before {
+			t.Error("checkpointed RDD recomputed after failure")
+		}
+	})
+}

@@ -1,0 +1,52 @@
+package engine
+
+import "fmt"
+
+// FailExecutor marks an executor as failed, as when Spark's driver loses a
+// worker's heartbeats: the executor receives no further tasks and its block
+// store (cached RDD partitions) is lost. Failure takes effect at stage
+// boundaries — tasks already running are not interrupted, matching the
+// granularity at which this engine schedules. Cached data lost with the
+// executor is recovered by lineage recomputation on the surviving
+// executors.
+func (c *Cluster) FailExecutor(name string) {
+	ex := c.Executor(name)
+	ex.failed = true
+	ex.blocks = map[blockID]any{}
+}
+
+// ReviveExecutor returns a failed executor to service (as when a
+// replacement container is provisioned). Its block store starts empty.
+func (c *Cluster) ReviveExecutor(name string) {
+	c.Executor(name).failed = false
+}
+
+// Alive returns the names of the executors currently in service, in
+// cluster order.
+func (c *Cluster) Alive() []string {
+	out := make([]string, 0, len(c.Execs))
+	for _, name := range c.Execs {
+		if !c.execs[name].failed {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// IsAlive reports whether the named executor is in service.
+func (c *Cluster) IsAlive(name string) bool { return !c.Executor(name).failed }
+
+// reroute returns a live executor to run a task addressed to target,
+// preferring the target itself. seq spreads rerouted tasks across the
+// survivors. It panics when no executor is alive — there is nothing
+// sensible an engine can do then.
+func (c *Cluster) reroute(target string, seq int) string {
+	if c.IsAlive(target) {
+		return target
+	}
+	alive := c.Alive()
+	if len(alive) == 0 {
+		panic(fmt.Sprintf("engine: no live executors to reroute task from %q", target))
+	}
+	return alive[seq%len(alive)]
+}

@@ -1,0 +1,108 @@
+package engine
+
+import (
+	"reflect"
+	"testing"
+
+	"mllibstar/internal/des"
+)
+
+func TestFailedExecutorTasksRerouted(t *testing.T) {
+	sim, cl, ctx := testCluster(3, DefaultConfig())
+	cl.FailExecutor("exec1")
+	var ranOn []string
+	runOnDriver(sim, func(p *des.Proc) {
+		tasks := make([]Task, 3)
+		for i := range tasks {
+			tasks[i] = Task{Exec: ctx.RoundRobin(i), Run: func(p *des.Proc, ex *Executor) (any, float64) {
+				ranOn = append(ranOn, ex.Name())
+				return nil, 0
+			}}
+		}
+		ctx.RunStage(p, "s", tasks)
+	})
+	for _, name := range ranOn {
+		if name == "exec1" {
+			t.Error("task ran on a failed executor")
+		}
+	}
+	if len(ranOn) != 3 {
+		t.Errorf("only %d tasks ran", len(ranOn))
+	}
+}
+
+func TestAliveAndRevive(t *testing.T) {
+	_, cl, _ := testCluster(3, DefaultConfig())
+	cl.FailExecutor("exec0")
+	if got := cl.Alive(); !reflect.DeepEqual(got, []string{"exec1", "exec2"}) {
+		t.Errorf("alive = %v", got)
+	}
+	if cl.IsAlive("exec0") || !cl.IsAlive("exec2") {
+		t.Error("IsAlive wrong")
+	}
+	cl.ReviveExecutor("exec0")
+	if len(cl.Alive()) != 3 {
+		t.Error("revive did not restore executor")
+	}
+}
+
+func TestFailureLosesBlocksLineageRecovers(t *testing.T) {
+	// A cached RDD's blocks on a failed executor are lost; a subsequent
+	// action must transparently recompute them on the survivors and still
+	// return the right answer.
+	sim, cl, ctx := testCluster(2, Config{TaskBytes: 1, ResultBytes: 1})
+	computes := 0
+	runOnDriver(sim, func(p *des.Proc) {
+		base := Parallelize(ctx, "nums", makeParts(2, 4))
+		mapped := Map(base, "m", 0, func(v int) int { computes++; return v * 2 }).Cache()
+		if sum := Reduce(p, mapped, 8, 1, func(a, b int) int { return a + b }); sum != 56 {
+			t.Fatalf("sum = %d", sum)
+		}
+		after := computes
+
+		cl.FailExecutor("exec0")
+		if sum := Reduce(p, mapped, 8, 1, func(a, b int) int { return a + b }); sum != 56 {
+			t.Errorf("post-failure sum wrong")
+		}
+		// exec0's partition was recomputed from lineage; exec1's came from
+		// its still-live cache.
+		if computes <= after {
+			t.Error("no recomputation after block loss")
+		}
+		if computes >= 2*after {
+			t.Error("surviving executor's cache was not reused")
+		}
+	})
+}
+
+func TestNoLiveExecutorsPanics(t *testing.T) {
+	sim, cl, ctx := testCluster(1, DefaultConfig())
+	cl.FailExecutor("exec0")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	runOnDriver(sim, func(p *des.Proc) {
+		ctx.RunStage(p, "s", []Task{{Exec: "exec0", Run: func(p *des.Proc, ex *Executor) (any, float64) { return nil, 0 }}})
+	})
+}
+
+func TestRerouteSpreadsAcrossSurvivors(t *testing.T) {
+	sim, cl, ctx := testCluster(3, DefaultConfig())
+	cl.FailExecutor("exec0")
+	counts := map[string]int{}
+	runOnDriver(sim, func(p *des.Proc) {
+		tasks := make([]Task, 6)
+		for i := range tasks {
+			tasks[i] = Task{Exec: "exec0", Run: func(p *des.Proc, ex *Executor) (any, float64) {
+				counts[ex.Name()]++
+				return nil, 0
+			}}
+		}
+		ctx.RunStage(p, "s", tasks)
+	})
+	if counts["exec1"] == 0 || counts["exec2"] == 0 {
+		t.Errorf("rerouted tasks not spread: %v", counts)
+	}
+}

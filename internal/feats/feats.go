@@ -1,0 +1,133 @@
+// Package feats provides the feature-engineering front end that CTR-style
+// GLM pipelines use upstream of training: the hashing trick to map raw
+// categorical tokens into a fixed-dimensional sparse space (how avazu/kdd12
+// style datasets are produced in practice), and a sparse-safe scaler.
+package feats
+
+import (
+	"fmt"
+	"math"
+
+	"mllibstar/internal/glm"
+	"mllibstar/internal/vec"
+)
+
+// Hasher implements the hashing trick: a token such as "site=abc" is mapped
+// to index hash(token) mod Dim with a sign derived from a second hash,
+// which keeps the expected inner product unbiased under collisions
+// (Weinberger et al.). The zero value is unusable; use NewHasher.
+type Hasher struct {
+	Dim int
+}
+
+// NewHasher returns a hasher into a Dim-dimensional space.
+func NewHasher(dim int) (*Hasher, error) {
+	if dim <= 0 {
+		return nil, fmt.Errorf("feats: hasher dim %d", dim)
+	}
+	return &Hasher{Dim: dim}, nil
+}
+
+// fnv1a is the 32-bit FNV-1a hash with a seed mixed in.
+func fnv1a(s string, seed uint32) uint32 {
+	h := 2166136261 ^ seed*16777619
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// Index returns the feature index for a token.
+func (h *Hasher) Index(token string) int32 {
+	return int32(fnv1a(token, 0) % uint32(h.Dim))
+}
+
+// sign returns +1 or -1 for a token, from an independent hash.
+func (h *Hasher) sign(token string) float64 {
+	if fnv1a(token, 0x9e3779b9)&1 == 0 {
+		return 1
+	}
+	return -1
+}
+
+// Vectorize maps a bag of tokens to a sparse feature vector: each token
+// contributes its signed count at its hashed index. Tokens colliding on an
+// index accumulate.
+func (h *Hasher) Vectorize(tokens []string) vec.Sparse {
+	m := make(map[int32]float64, len(tokens))
+	for _, tok := range tokens {
+		m[h.Index(tok)] += h.sign(tok)
+	}
+	return vec.SparseFromMap(m)
+}
+
+// Example builds a labelled example from raw tokens.
+func (h *Hasher) Example(label float64, tokens []string) glm.Example {
+	return glm.Example{Label: label, X: h.Vectorize(tokens)}
+}
+
+// Scaler standardizes sparse features without destroying sparsity: each
+// stored value is divided by its feature's standard deviation (no mean
+// centering, which would densify the data — the standard sparse-data
+// compromise).
+type Scaler struct {
+	InvStd []float64
+}
+
+// FitScaler estimates per-feature standard deviations over the examples,
+// treating absent entries as zeros (the correct sparse semantics).
+func FitScaler(data []glm.Example, dim int) *Scaler {
+	if dim <= 0 || len(data) == 0 {
+		return &Scaler{InvStd: nil}
+	}
+	sum := make([]float64, dim)
+	sumSq := make([]float64, dim)
+	n := float64(len(data))
+	for _, e := range data {
+		for i, ix := range e.X.Ind {
+			if int(ix) >= dim {
+				continue
+			}
+			v := e.X.Val[i]
+			sum[ix] += v
+			sumSq[ix] += v * v
+		}
+	}
+	inv := make([]float64, dim)
+	for j := 0; j < dim; j++ {
+		mean := sum[j] / n
+		variance := sumSq[j]/n - mean*mean
+		if variance > 1e-12 {
+			inv[j] = 1 / math.Sqrt(variance)
+		} else {
+			inv[j] = 1 // constant or absent feature: leave unscaled
+		}
+	}
+	return &Scaler{InvStd: inv}
+}
+
+// Transform returns a new example with scaled feature values.
+func (s *Scaler) Transform(e glm.Example) glm.Example {
+	if s.InvStd == nil {
+		return e
+	}
+	vals := make([]float64, len(e.X.Val))
+	for i, ix := range e.X.Ind {
+		f := 1.0
+		if int(ix) < len(s.InvStd) {
+			f = s.InvStd[ix]
+		}
+		vals[i] = e.X.Val[i] * f
+	}
+	return glm.Example{Label: e.Label, X: vec.Sparse{Ind: e.X.Ind, Val: vals}}
+}
+
+// TransformAll scales a whole dataset's examples.
+func (s *Scaler) TransformAll(data []glm.Example) []glm.Example {
+	out := make([]glm.Example, len(data))
+	for i, e := range data {
+		out[i] = s.Transform(e)
+	}
+	return out
+}

@@ -1,0 +1,168 @@
+package feats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mllibstar/internal/glm"
+	"mllibstar/internal/vec"
+)
+
+func TestHasherDeterministicAndInRange(t *testing.T) {
+	h, err := NewHasher(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tok := range []string{"site=abc", "device=ios", "", "a"} {
+		i1, i2 := h.Index(tok), h.Index(tok)
+		if i1 != i2 {
+			t.Errorf("unstable index for %q", tok)
+		}
+		if i1 < 0 || int(i1) >= 1000 {
+			t.Errorf("index %d out of range", i1)
+		}
+	}
+	if _, err := NewHasher(0); err == nil {
+		t.Error("want error for dim 0")
+	}
+}
+
+func TestVectorizeAccumulatesAndSigns(t *testing.T) {
+	h, _ := NewHasher(1 << 16)
+	x := h.Vectorize([]string{"a", "a", "b"})
+	// "a" twice accumulates to ±2 at one index; "b" contributes ±1.
+	if x.NNZ() != 2 {
+		t.Fatalf("nnz = %d, want 2 (no collision expected at 65536 dims)", x.NNZ())
+	}
+	found2 := false
+	for _, v := range x.Val {
+		if math.Abs(v) == 2 {
+			found2 = true
+		}
+	}
+	if !found2 {
+		t.Errorf("repeated token did not accumulate: %v", x.Val)
+	}
+}
+
+func TestVectorizeSpreadsTokens(t *testing.T) {
+	h, _ := NewHasher(4096)
+	seen := map[int32]bool{}
+	for i := 0; i < 200; i++ {
+		seen[h.Index(string(rune('a'+i%26))+string(rune('0'+i/26)))] = true
+	}
+	if len(seen) < 150 {
+		t.Errorf("only %d distinct indices for 200 tokens", len(seen))
+	}
+}
+
+func TestHashedExamplesAreLearnable(t *testing.T) {
+	// A synthetic token workload: spam tokens vs ham tokens, hashed; a
+	// linear model must separate them.
+	h, _ := NewHasher(512)
+	rng := rand.New(rand.NewSource(3))
+	spamVocab := []string{"win", "free", "prize", "click", "now"}
+	hamVocab := []string{"meeting", "report", "invoice", "schedule", "team"}
+	var data []glm.Example
+	for i := 0; i < 400; i++ {
+		var toks []string
+		label := 1.0
+		vocab := spamVocab
+		if i%2 == 0 {
+			label = -1
+			vocab = hamVocab
+		}
+		for j := 0; j < 6; j++ {
+			toks = append(toks, vocab[rng.Intn(len(vocab))])
+		}
+		data = append(data, h.Example(label, toks))
+	}
+	w := make([]float64, 512)
+	obj := glm.SVM(0)
+	for ep := 0; ep < 3; ep++ {
+		for _, e := range data {
+			d := obj.Loss.Deriv(vec.Dot(w, e.X), e.Label)
+			if d != 0 {
+				vec.Axpy(-0.1*d, e.X, w)
+			}
+		}
+	}
+	if acc := glm.Accuracy(w, data); acc < 0.98 {
+		t.Errorf("hashed-feature accuracy = %g, want ~1", acc)
+	}
+}
+
+func TestScalerUnitVariance(t *testing.T) {
+	// Feature 0 has large variance, feature 1 small; after scaling both
+	// should have ~unit variance over the stored values.
+	var data []glm.Example
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		data = append(data, glm.Example{Label: 1, X: vec.SparseFromMap(map[int32]float64{
+			0: rng.NormFloat64() * 10,
+			1: rng.NormFloat64() * 0.1,
+		})})
+	}
+	s := FitScaler(data, 2)
+	scaled := s.TransformAll(data)
+	for j := int32(0); j < 2; j++ {
+		sum, sumSq := 0.0, 0.0
+		for _, e := range scaled {
+			v := e.X.At(j)
+			sum += v
+			sumSq += v * v
+		}
+		n := float64(len(scaled))
+		variance := sumSq/n - (sum/n)*(sum/n)
+		if variance < 0.8 || variance > 1.2 {
+			t.Errorf("feature %d variance after scaling = %g", j, variance)
+		}
+	}
+}
+
+func TestScalerLeavesConstantFeaturesAlone(t *testing.T) {
+	data := []glm.Example{
+		{Label: 1, X: vec.SparseFromMap(map[int32]float64{0: 5})},
+		{Label: 1, X: vec.SparseFromMap(map[int32]float64{0: 5})},
+	}
+	s := FitScaler(data, 1)
+	got := s.Transform(data[0])
+	if got.X.At(0) != 5 {
+		t.Errorf("constant feature rescaled to %g", got.X.At(0))
+	}
+}
+
+func TestScalerEmpty(t *testing.T) {
+	s := FitScaler(nil, 0)
+	e := glm.Example{Label: 1, X: vec.SparseFromMap(map[int32]float64{0: 2})}
+	if got := s.Transform(e); got.X.At(0) != 2 {
+		t.Error("empty scaler should be identity")
+	}
+}
+
+func TestHashingPreservesDotProductsApproximately(t *testing.T) {
+	// Property (hashing trick): for disjoint token sets, hashed vectors are
+	// near-orthogonal in expectation; for identical sets the dot product
+	// equals the token count. Verified on random token multisets.
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h, _ := NewHasher(1 << 14)
+		n := 5 + rng.Intn(10)
+		toks := make([]string, n)
+		for i := range toks {
+			toks[i] = string(rune('a'+rng.Intn(26))) + string(rune('a'+rng.Intn(26))) + string(rune('0'+i))
+		}
+		x := h.Vectorize(toks)
+		// Self inner product = n when no collisions (distinct tokens).
+		self := 0.0
+		for _, v := range x.Val {
+			self += v * v
+		}
+		return math.Abs(self-float64(n)) <= 2 // allow rare collisions
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

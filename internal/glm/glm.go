@@ -1,0 +1,323 @@
+// Package glm defines generalized linear models as the paper studies them:
+// an objective f(w, X) = l(w, X) + Ω(w) where l is a margin-based loss
+// (hinge for SVM, logistic for LR, squared for linear regression) averaged
+// over the data and Ω is a regularization term (none, L1, or L2).
+//
+// All trainers in this repository — sequential MGD, MLlib's SendGradient,
+// MLlib*'s model averaging, and the parameter-server baselines — share these
+// loss/regularizer kernels, so their objective values are directly
+// comparable, exactly as the paper compares systems by objective-vs-time.
+package glm
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mllibstar/internal/vec"
+)
+
+// Example is one labelled training instance. For classification losses the
+// label must be -1 or +1; for squared loss it is the regression target.
+type Example struct {
+	Label float64
+	X     vec.Sparse
+}
+
+// NNZ returns the number of nonzero features of the example.
+func (e Example) NNZ() int { return e.X.NNZ() }
+
+// Loss is a margin-based loss l(margin, y), where margin = <w, x>.
+type Loss interface {
+	// Name identifies the loss in configs and reports.
+	Name() string
+	// Value returns l(margin, y).
+	Value(margin, y float64) float64
+	// Deriv returns ∂l/∂margin; the gradient w.r.t. the model is Deriv·x.
+	Deriv(margin, y float64) float64
+}
+
+// Hinge is the SVM loss max(0, 1 - y·margin) — the workload of the paper's
+// evaluation (linear SVM on five datasets).
+type Hinge struct{}
+
+func (Hinge) Name() string { return "hinge" }
+
+func (Hinge) Value(margin, y float64) float64 {
+	if v := 1 - y*margin; v > 0 {
+		return v
+	}
+	return 0
+}
+
+func (Hinge) Deriv(margin, y float64) float64 {
+	if 1-y*margin > 0 {
+		return -y
+	}
+	return 0
+}
+
+// Logistic is the logistic-regression loss log(1 + exp(-y·margin)).
+type Logistic struct{}
+
+func (Logistic) Name() string { return "logistic" }
+
+func (Logistic) Value(margin, y float64) float64 {
+	z := y * margin
+	// Numerically stable log(1+exp(-z)).
+	if z > 0 {
+		return math.Log1p(math.Exp(-z))
+	}
+	return -z + math.Log1p(math.Exp(z))
+}
+
+func (Logistic) Deriv(margin, y float64) float64 {
+	z := y * margin
+	// -y * sigmoid(-z), computed stably.
+	if z > 0 {
+		e := math.Exp(-z)
+		return -y * e / (1 + e)
+	}
+	return -y / (1 + math.Exp(z))
+}
+
+// Squared is the least-squares loss (margin - y)²/2.
+type Squared struct{}
+
+func (Squared) Name() string { return "squared" }
+
+func (Squared) Value(margin, y float64) float64 { d := margin - y; return d * d / 2 }
+
+func (Squared) Deriv(margin, y float64) float64 { return margin - y }
+
+// LossByName returns the loss with the given Name.
+func LossByName(name string) (Loss, error) {
+	switch name {
+	case "hinge":
+		return Hinge{}, nil
+	case "logistic":
+		return Logistic{}, nil
+	case "squared":
+		return Squared{}, nil
+	}
+	return nil, fmt.Errorf("glm: unknown loss %q", name)
+}
+
+// Regularizer is the Ω(w) term of the objective.
+type Regularizer interface {
+	// Name identifies the regularizer in configs and reports.
+	Name() string
+	// Lambda returns the regularization strength (zero for None).
+	Lambda() float64
+	// Value returns Ω(w).
+	Value(w []float64) float64
+	// DerivAt returns ∂Ω/∂w_j at the given weight value.
+	DerivAt(wj float64) float64
+}
+
+// None is the absent regularizer (Ω = 0) — the paper's "L2=0" settings.
+type None struct{}
+
+func (None) Name() string            { return "none" }
+func (None) Lambda() float64         { return 0 }
+func (None) Value([]float64) float64 { return 0 }
+func (None) DerivAt(float64) float64 { return 0 }
+
+// L2 is ridge regularization Ω(w) = λ/2·‖w‖².
+type L2 struct{ Strength float64 }
+
+func (r L2) Name() string               { return "l2" }
+func (r L2) Lambda() float64            { return r.Strength }
+func (r L2) Value(w []float64) float64  { return r.Strength / 2 * vec.Norm2Sq(w) }
+func (r L2) DerivAt(wj float64) float64 { return r.Strength * wj }
+
+// L1 is lasso regularization Ω(w) = λ·‖w‖₁ with the subgradient λ·sign(w).
+type L1 struct{ Strength float64 }
+
+func (r L1) Name() string              { return "l1" }
+func (r L1) Lambda() float64           { return r.Strength }
+func (r L1) Value(w []float64) float64 { return r.Strength * vec.Norm1(w) }
+func (r L1) DerivAt(wj float64) float64 {
+	switch {
+	case wj > 0:
+		return r.Strength
+	case wj < 0:
+		return -r.Strength
+	}
+	return 0
+}
+
+// ElasticNet combines L1 and L2 regularization:
+// Ω(w) = α·λ·‖w‖₁ + (1−α)·λ/2·‖w‖², the mixture spark.ml exposes for GLMs.
+type ElasticNet struct {
+	Strength float64 // λ
+	L1Ratio  float64 // α in [0, 1]: 1 = pure lasso, 0 = pure ridge
+}
+
+func (r ElasticNet) Name() string    { return "elasticnet" }
+func (r ElasticNet) Lambda() float64 { return r.Strength }
+
+func (r ElasticNet) Value(w []float64) float64 {
+	return r.Strength * (r.L1Ratio*vec.Norm1(w) + (1-r.L1Ratio)/2*vec.Norm2Sq(w))
+}
+
+func (r ElasticNet) DerivAt(wj float64) float64 {
+	d := r.Strength * (1 - r.L1Ratio) * wj
+	switch {
+	case wj > 0:
+		d += r.Strength * r.L1Ratio
+	case wj < 0:
+		d -= r.Strength * r.L1Ratio
+	}
+	return d
+}
+
+// RegByName returns a regularizer by name with the given strength.
+func RegByName(name string, lambda float64) (Regularizer, error) {
+	switch name {
+	case "none", "":
+		return None{}, nil
+	case "l2":
+		if lambda == 0 {
+			return None{}, nil
+		}
+		return L2{Strength: lambda}, nil
+	case "l1":
+		if lambda == 0 {
+			return None{}, nil
+		}
+		return L1{Strength: lambda}, nil
+	}
+	return nil, fmt.Errorf("glm: unknown regularizer %q", name)
+}
+
+// Objective bundles a loss and a regularizer: f(w, X) = mean loss + Ω(w).
+type Objective struct {
+	Loss Loss
+	Reg  Regularizer
+}
+
+// SVM returns the paper's evaluation objective: hinge loss with the given L2
+// strength (zero means no regularization).
+func SVM(l2 float64) Objective {
+	if l2 == 0 {
+		return Objective{Loss: Hinge{}, Reg: None{}}
+	}
+	return Objective{Loss: Hinge{}, Reg: L2{Strength: l2}}
+}
+
+// LogReg returns a logistic-regression objective with the given L2 strength.
+func LogReg(l2 float64) Objective {
+	if l2 == 0 {
+		return Objective{Loss: Logistic{}, Reg: None{}}
+	}
+	return Objective{Loss: Logistic{}, Reg: L2{Strength: l2}}
+}
+
+// Value returns f(w, X) = (1/n)·Σ l(<w,x_i>, y_i) + Ω(w) over the examples.
+// It is the metric every experiment in the paper plots on its y-axis.
+func (o Objective) Value(w []float64, data []Example) float64 {
+	if len(data) == 0 {
+		return o.Reg.Value(w)
+	}
+	sum := 0.0
+	for _, e := range data {
+		sum += o.Loss.Value(vec.Dot(w, e.X), e.Label)
+	}
+	return sum/float64(len(data)) + o.Reg.Value(w)
+}
+
+// LossSum returns Σ l(<w,x_i>, y_i) over the examples, without dividing and
+// without the regularization term. Distributed evaluators aggregate LossSum
+// across partitions and divide by the global count.
+func (o Objective) LossSum(w []float64, data []Example) float64 {
+	sum := 0.0
+	for _, e := range data {
+		sum += o.Loss.Value(vec.Dot(w, e.X), e.Label)
+	}
+	return sum
+}
+
+// AddGradient accumulates the gradient of the *loss term only*, summed (not
+// averaged) over the examples, into g: g += Σ l'(<w,x_i>, y_i)·x_i.
+// Regularization gradients are applied separately by the optimizers because
+// the efficient treatment of L2 (lazy scaling) differs per algorithm.
+// It returns the number of nonzeros touched, the unit of the simulation's
+// compute cost model.
+func (o Objective) AddGradient(w []float64, data []Example, g []float64) (nnz int) {
+	for _, e := range data {
+		d := o.Loss.Deriv(vec.Dot(w, e.X), e.Label)
+		if d != 0 {
+			vec.Axpy(d, e.X, g)
+		}
+		nnz += e.X.NNZ()
+	}
+	return nnz
+}
+
+// Accuracy returns the fraction of examples whose label sign the model
+// predicts correctly (classification losses only).
+func Accuracy(w []float64, data []Example) float64 {
+	if len(data) == 0 {
+		return 0
+	}
+	correct := 0
+	for _, e := range data {
+		margin := vec.Dot(w, e.X)
+		if (margin >= 0 && e.Label > 0) || (margin < 0 && e.Label < 0) {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(data))
+}
+
+// AUC returns the area under the ROC curve of the model's margins over the
+// examples — the ranking metric CTR practitioners actually optimize. It is
+// computed exactly via the rank-sum formulation, with ties sharing average
+// ranks. It returns 0.5 when either class is absent.
+func AUC(w []float64, data []Example) float64 {
+	type scored struct {
+		margin float64
+		pos    bool
+	}
+	scores := make([]scored, len(data))
+	nPos := 0
+	for i, e := range data {
+		pos := e.Label > 0
+		if pos {
+			nPos++
+		}
+		scores[i] = scored{margin: vec.Dot(w, e.X), pos: pos}
+	}
+	nNeg := len(data) - nPos
+	if nPos == 0 || nNeg == 0 {
+		return 0.5
+	}
+	sort.Slice(scores, func(i, j int) bool { return scores[i].margin < scores[j].margin })
+	// Rank sum of the positives, averaging ranks within tied margins.
+	rankSum := 0.0
+	i := 0
+	for i < len(scores) {
+		j := i
+		for j < len(scores) && scores[j].margin == scores[i].margin {
+			j++
+		}
+		avgRank := float64(i+j+1) / 2 // 1-based average rank of the tie group
+		for t := i; t < j; t++ {
+			if scores[t].pos {
+				rankSum += avgRank
+			}
+		}
+		i = j
+	}
+	return (rankSum - float64(nPos)*float64(nPos+1)/2) / (float64(nPos) * float64(nNeg))
+}
+
+// NNZTotal returns the total number of nonzero features across the examples.
+func NNZTotal(data []Example) int {
+	n := 0
+	for _, e := range data {
+		n += e.X.NNZ()
+	}
+	return n
+}

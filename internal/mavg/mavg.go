@@ -1,0 +1,88 @@
+// Package mavg implements "MLlib + model averaging", the intermediate
+// design point of the paper's Figure 3(b): the SendModel paradigm (each
+// executor runs many local SGD updates per communication step and ships its
+// local model) combined with MLlib's original communication pattern
+// (broadcast from the driver, hierarchical treeAggregate back to it).
+//
+// It removes bottleneck B1 (one update per step) but keeps bottleneck B2
+// (the driver and intermediate aggregators serialize all model traffic),
+// which is what isolates the contribution of AllReduce in the evaluation.
+package mavg
+
+import (
+	"fmt"
+
+	"mllibstar/internal/des"
+	"mllibstar/internal/engine"
+	"mllibstar/internal/glm"
+	"mllibstar/internal/mllib"
+	"mllibstar/internal/opt"
+	"mllibstar/internal/trace"
+	"mllibstar/internal/train"
+	"mllibstar/internal/vec"
+)
+
+// System is the curve label for this trainer.
+const System = "MLlib+MA"
+
+// Train runs SendModel with model averaging over treeAggregate. parts must
+// have one partition per executor, in executor order.
+func Train(ctx *engine.Context, parts [][]glm.Example, dim int, prm train.Params,
+	evalData []glm.Example, dataset string) (*train.Result, error) {
+
+	if err := prm.Validate(); err != nil {
+		return nil, err
+	}
+	k := ctx.NumExecutors()
+	if len(parts) != k {
+		return nil, fmt.Errorf("mavg: %d partitions for %d executors", len(parts), k)
+	}
+
+	sim := ctx.Cluster.Sim
+	net := ctx.Cluster.Net
+	driver := net.Node(ctx.Cluster.Driver)
+	ev := train.NewEvaluator(System, dataset, prm.Objective, evalData, prm.EvalEvery)
+	aggs := mllib.Aggregators(prm, k)
+	sched := prm.Schedule()
+
+	res := &train.Result{System: System, Curve: ev.Curve}
+	w := make([]float64, dim)
+	modelBytes := float64(dim) * engine.FloatBytes
+
+	sim.Spawn("driver:mavg", func(p *des.Proc) {
+		ev.Record(0, p.Now(), w)
+		for t := 1; t <= prm.MaxSteps; t++ {
+			stepW := w
+			sum := ctx.TreeAggregateVec(p, fmt.Sprintf("ma%d", t), dim, aggs, modelBytes,
+				func(p *des.Proc, ex *engine.Executor, i int) []float64 {
+					local := vec.Copy(stepW)
+					work := 0
+					etaT := opt.Const(sched(t - 1))
+					for pass := 0; pass < prm.LocalPasses; pass++ {
+						work += opt.LocalPass(prm.Objective, local, parts[i], etaT, 0)
+					}
+					ex.Charge(p, float64(work))
+					res.Updates += int64(prm.LocalPasses * len(parts[i]))
+					return local
+				})
+			// Model averaging at the driver: w ← (1/k)·Σ local models.
+			copy(w, sum)
+			vec.Scale(w, 1/float64(k))
+			driver.ComputeKind(p, float64(dim), trace.Update, "model averaging")
+
+			res.CommSteps = t
+			if obj, recorded := ev.Record(t, p.Now(), w); recorded {
+				if prm.TargetObjective > 0 && obj <= prm.TargetObjective {
+					break
+				}
+			}
+			if prm.MaxSimTime > 0 && p.Now() >= prm.MaxSimTime {
+				break
+			}
+		}
+	})
+	res.SimTime = sim.Run()
+	res.FinalW = vec.Copy(w)
+	res.TotalBytes = net.TotalBytes()
+	return res, nil
+}

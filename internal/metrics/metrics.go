@@ -1,0 +1,162 @@
+// Package metrics records and analyzes convergence curves: objective value
+// as a function of communication steps and of simulated time — the two
+// x-axes of the paper's Figures 4–6 — plus the speedup-at-target-loss
+// computation the paper uses ("speedup is calculated when the accuracy loss
+// compared to the optimum is 0.01").
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Point is one observation of a training run.
+type Point struct {
+	Step      int     // communication steps completed
+	Time      float64 // simulated seconds elapsed
+	Objective float64 // f(w, X)
+}
+
+// Curve is the convergence trajectory of one system on one workload.
+type Curve struct {
+	System  string
+	Dataset string
+	Points  []Point
+}
+
+// NewCurve returns an empty curve.
+func NewCurve(system, dataset string) *Curve {
+	return &Curve{System: system, Dataset: dataset}
+}
+
+// Add appends an observation. Steps and times must be non-decreasing.
+func (c *Curve) Add(step int, time, objective float64) {
+	if n := len(c.Points); n > 0 {
+		last := c.Points[n-1]
+		if step < last.Step || time < last.Time {
+			panic(fmt.Sprintf("metrics: non-monotone point step=%d time=%g after %+v", step, time, last))
+		}
+	}
+	c.Points = append(c.Points, Point{Step: step, Time: time, Objective: objective})
+}
+
+// Len returns the number of points.
+func (c *Curve) Len() int { return len(c.Points) }
+
+// Final returns the last observation, or a zero Point for an empty curve.
+func (c *Curve) Final() Point {
+	if len(c.Points) == 0 {
+		return Point{}
+	}
+	return c.Points[len(c.Points)-1]
+}
+
+// Best returns the minimum objective seen.
+func (c *Curve) Best() float64 {
+	best := math.Inf(1)
+	for _, p := range c.Points {
+		if p.Objective < best {
+			best = p.Objective
+		}
+	}
+	return best
+}
+
+// StepsToReach returns the first step at which the objective is ≤ target.
+func (c *Curve) StepsToReach(target float64) (int, bool) {
+	for _, p := range c.Points {
+		if p.Objective <= target {
+			return p.Step, true
+		}
+	}
+	return 0, false
+}
+
+// TimeToReach returns the first simulated time at which the objective is ≤
+// target.
+func (c *Curve) TimeToReach(target float64) (float64, bool) {
+	for _, p := range c.Points {
+		if p.Objective <= target {
+			return p.Time, true
+		}
+	}
+	return 0, false
+}
+
+// Speedup compares a baseline curve against an improved one at the given
+// objective target. It returns the step and time speedup factors
+// (baseline/improved). ok is false when either curve misses the target —
+// which itself reproduces results like "MLlib cannot reach the optimum on
+// url/kddb without regularization".
+func Speedup(baseline, improved *Curve, target float64) (stepX, timeX float64, ok bool) {
+	bs, ok1 := baseline.StepsToReach(target)
+	bt, _ := baseline.TimeToReach(target)
+	is, ok2 := improved.StepsToReach(target)
+	it, _ := improved.TimeToReach(target)
+	if !ok1 || !ok2 || is == 0 || it == 0 {
+		return 0, 0, false
+	}
+	return float64(bs) / float64(is), bt / it, true
+}
+
+// CSV renders the curve as "system,dataset,step,time,objective" rows.
+func (c *Curve) CSV(includeHeader bool) string {
+	var b strings.Builder
+	if includeHeader {
+		b.WriteString("system,dataset,step,time,objective\n")
+	}
+	for _, p := range c.Points {
+		fmt.Fprintf(&b, "%s,%s,%d,%.9f,%.9f\n", c.System, c.Dataset, p.Step, p.Time, p.Objective)
+	}
+	return b.String()
+}
+
+// Table renders several curves side by side at a fixed set of times using
+// last-observation-carried-forward interpolation — the textual analogue of
+// the paper's objective-vs-time plots.
+func Table(curves []*Curve, times []float64) string {
+	var b strings.Builder
+	b.WriteString("time(s)")
+	for _, c := range curves {
+		fmt.Fprintf(&b, "\t%s", c.System)
+	}
+	b.WriteByte('\n')
+	for _, t := range times {
+		fmt.Fprintf(&b, "%.2f", t)
+		for _, c := range curves {
+			v, seen := math.NaN(), false
+			for _, p := range c.Points {
+				if p.Time <= t {
+					v, seen = p.Objective, true
+				} else {
+					break
+				}
+			}
+			if seen {
+				fmt.Fprintf(&b, "\t%.4f", v)
+			} else {
+				b.WriteString("\t-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// LogTimes returns n logarithmically spaced times in [lo, hi] for sampling
+// objective-vs-time tables (the paper's time axes are logarithmic).
+func LogTimes(lo, hi float64, n int) []float64 {
+	if lo <= 0 || hi <= lo || n < 2 {
+		panic(fmt.Sprintf("metrics: LogTimes(%g, %g, %d)", lo, hi, n))
+	}
+	out := make([]float64, n)
+	ratio := math.Pow(hi/lo, 1/float64(n-1))
+	v := lo
+	for i := range out {
+		out[i] = v
+		v *= ratio
+	}
+	out[n-1] = hi
+	return out
+}

@@ -1,0 +1,223 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func curveFrom(objs []float64) *Curve {
+	c := NewCurve("sys", "ds")
+	for i, o := range objs {
+		c.Add(i, float64(i)*0.5, o)
+	}
+	return c
+}
+
+func TestAddMonotoneGuard(t *testing.T) {
+	c := NewCurve("s", "d")
+	c.Add(0, 0, 1)
+	c.Add(1, 1, 0.9)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for decreasing step")
+		}
+	}()
+	c.Add(0, 2, 0.8)
+}
+
+func TestAddTimeGuard(t *testing.T) {
+	c := NewCurve("s", "d")
+	c.Add(0, 5, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for decreasing time")
+		}
+	}()
+	c.Add(1, 4, 0.9)
+}
+
+func TestFinalAndBest(t *testing.T) {
+	c := curveFrom([]float64{1, 0.4, 0.6})
+	if c.Final().Objective != 0.6 || c.Final().Step != 2 {
+		t.Errorf("final = %+v", c.Final())
+	}
+	if c.Best() != 0.4 {
+		t.Errorf("best = %g", c.Best())
+	}
+	empty := NewCurve("s", "d")
+	if empty.Final() != (Point{}) || !math.IsInf(empty.Best(), 1) {
+		t.Error("empty curve accessors wrong")
+	}
+}
+
+func TestReachTargets(t *testing.T) {
+	c := curveFrom([]float64{1, 0.8, 0.5, 0.3})
+	if s, ok := c.StepsToReach(0.5); !ok || s != 2 {
+		t.Errorf("steps = %d, %v", s, ok)
+	}
+	if tm, ok := c.TimeToReach(0.5); !ok || tm != 1.0 {
+		t.Errorf("time = %g, %v", tm, ok)
+	}
+	if _, ok := c.StepsToReach(0.1); ok {
+		t.Error("unreached target reported reached")
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	slow := NewCurve("slow", "d")
+	fast := NewCurve("fast", "d")
+	for i := 0; i <= 100; i++ {
+		slow.Add(i, float64(i), 1-float64(i)*0.005) // hits 0.7 at step 60
+		fast.Add(i, float64(i)*0.1, 1-float64(i)*0.05)
+	}
+	stepX, timeX, ok := Speedup(slow, fast, 0.7)
+	if !ok {
+		t.Fatal("speedup not computed")
+	}
+	if stepX != 10 { // 60 vs 6
+		t.Errorf("stepX = %g, want 10", stepX)
+	}
+	if math.Abs(timeX-100) > 1e-9 { // 60s vs 0.6s
+		t.Errorf("timeX = %g, want 100", timeX)
+	}
+	if _, _, ok := Speedup(slow, fast, 0.0001); ok {
+		t.Error("speedup at unreachable target should fail")
+	}
+}
+
+func TestSpeedupMonotoneProperty(t *testing.T) {
+	// Property: scaling the improved curve's times by c scales timeX by c.
+	prop := func(scale float64) bool {
+		scale = 1 + math.Mod(math.Abs(scale), 5)
+		base := NewCurve("b", "d")
+		fast := NewCurve("f", "d")
+		slow := NewCurve("s", "d")
+		for i := 0; i <= 50; i++ {
+			obj := 1 - float64(i)*0.01
+			base.Add(i, float64(i), obj)
+			fast.Add(i, float64(i), obj)
+			slow.Add(i, float64(i)*scale, obj)
+		}
+		_, tFast, ok1 := Speedup(base, fast, 0.8)
+		_, tSlow, ok2 := Speedup(base, slow, 0.8)
+		if !ok1 || !ok2 {
+			return false
+		}
+		return math.Abs(tFast/tSlow-scale) < 1e-9*scale
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	c := curveFrom([]float64{1, 0.5})
+	out := c.CSV(true)
+	if !strings.HasPrefix(out, "system,dataset,step,time,objective\n") {
+		t.Errorf("csv = %q", out)
+	}
+	if !strings.Contains(out, "sys,ds,1,") {
+		t.Errorf("csv missing row: %q", out)
+	}
+	if strings.Contains(c.CSV(false), "system,") {
+		t.Error("header included when not requested")
+	}
+}
+
+func TestTableLOCF(t *testing.T) {
+	a := NewCurve("A", "d")
+	a.Add(0, 0, 1)
+	a.Add(1, 10, 0.5)
+	b := NewCurve("B", "d")
+	b.Add(0, 5, 0.8)
+	out := Table([]*Curve{a, b}, []float64{1, 6, 20})
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table = %q", out)
+	}
+	// At t=1: A=1.0 (from t=0), B not yet observed.
+	if !strings.Contains(lines[1], "1.0000") || !strings.Contains(lines[1], "-") {
+		t.Errorf("row t=1: %q", lines[1])
+	}
+	// At t=20: A=0.5, B=0.8.
+	if !strings.Contains(lines[3], "0.5000") || !strings.Contains(lines[3], "0.8000") {
+		t.Errorf("row t=20: %q", lines[3])
+	}
+}
+
+func TestLogTimes(t *testing.T) {
+	ts := LogTimes(1, 100, 3)
+	want := []float64{1, 10, 100}
+	for i := range want {
+		if math.Abs(ts[i]-want[i]) > 1e-9 {
+			t.Errorf("ts = %v", ts)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for bad range")
+		}
+	}()
+	LogTimes(0, 10, 3)
+}
+
+func TestRenderSVGBasics(t *testing.T) {
+	a := NewCurve("MLlib*", "d")
+	b := NewCurve("MLlib", "d")
+	for i := 1; i <= 20; i++ {
+		tsec := float64(i) * 0.01
+		a.Add(i, tsec, 1/float64(i))
+		b.Add(i, tsec*10, 1/math.Sqrt(float64(i)))
+	}
+	out := RenderSVG([]*Curve{a, b}, SVGOptions{Title: "test & demo", LogX: true})
+	for _, want := range []string{
+		"<svg", "</svg>",
+		"#2a78d6", "#008300", // fixed entity colors
+		"test &amp; demo",   // escaped title
+		"MLlib*", ">MLlib<", // direct end labels
+		"simulated time", "objective", // axis titles
+		"<title>", // native tooltips
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("svg missing %q", want)
+		}
+	}
+}
+
+func TestRenderSVGUnknownSystemNeutral(t *testing.T) {
+	c := NewCurve("Mystery", "d")
+	c.Add(1, 0.1, 1)
+	c.Add(2, 0.2, 0.5)
+	out := RenderSVG([]*Curve{c}, SVGOptions{})
+	if !strings.Contains(out, "#52514e") {
+		t.Error("unknown system should use the neutral ink")
+	}
+}
+
+func TestRenderSVGEmptyAndDegenerate(t *testing.T) {
+	out := RenderSVG(nil, SVGOptions{})
+	if !strings.Contains(out, "no drawable series") {
+		t.Errorf("empty chart = %q", out)
+	}
+	// Log axis drops zero-time points; a single remaining point is skipped.
+	c := NewCurve("MLlib", "d")
+	c.Add(0, 0, 1)
+	c.Add(1, 0.5, 0.9)
+	out = RenderSVG([]*Curve{c}, SVGOptions{LogX: true})
+	if !strings.Contains(out, "no drawable series") {
+		t.Error("single-point log series should be skipped")
+	}
+}
+
+func TestRenderSVGFlatSeries(t *testing.T) {
+	// Constant objective must not divide by zero.
+	c := NewCurve("Angel", "d")
+	c.Add(1, 1, 0.5)
+	c.Add(2, 2, 0.5)
+	out := RenderSVG([]*Curve{c}, SVGOptions{})
+	if !strings.Contains(out, "<path") {
+		t.Error("flat series not drawn")
+	}
+}

@@ -1,0 +1,134 @@
+// Package mllib implements the baseline the paper studies: Spark MLlib's
+// mini-batch gradient descent for GLMs, i.e. the SendGradient paradigm of
+// Algorithm 2 executed as BSP stages.
+//
+// Each communication step (1) broadcasts the current model with the task
+// descriptors, (2) has every executor sample a mini batch from its cached
+// partition and compute a gradient sum, (3) aggregates the gradients
+// hierarchically through intermediate executors (treeAggregate), and (4)
+// applies a single model update at the driver. The single-update-per-step
+// pattern (bottleneck B1) and the driver-centric aggregation (bottleneck
+// B2) are exactly the properties the paper's Figure 3(a) visualizes.
+package mllib
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mllibstar/internal/des"
+	"mllibstar/internal/engine"
+	"mllibstar/internal/glm"
+	"mllibstar/internal/trace"
+	"mllibstar/internal/train"
+	"mllibstar/internal/vec"
+)
+
+// System is the curve label for this trainer.
+const System = "MLlib"
+
+// Aggregators resolves the treeAggregate fan-in: the explicit value if set,
+// otherwise ceil(sqrt(k)) — the branching of MLlib's default depth-2 tree.
+func Aggregators(prm train.Params, k int) int {
+	if prm.Aggregators > 0 {
+		return prm.Aggregators
+	}
+	a := int(math.Ceil(math.Sqrt(float64(k))))
+	if a < 1 {
+		a = 1
+	}
+	return a
+}
+
+// Train runs SendGradient mini-batch gradient descent on the cluster behind
+// ctx. parts must have one partition per executor, in executor order.
+// evalData is the out-of-band evaluation set; dataset labels the curve.
+func Train(ctx *engine.Context, parts [][]glm.Example, dim int, prm train.Params,
+	evalData []glm.Example, dataset string) (*train.Result, error) {
+
+	if err := prm.Validate(); err != nil {
+		return nil, err
+	}
+	k := ctx.NumExecutors()
+	if len(parts) != k {
+		return nil, fmt.Errorf("mllib: %d partitions for %d executors", len(parts), k)
+	}
+	if prm.BatchFraction == 0 {
+		prm.BatchFraction = 1
+	}
+
+	sim := ctx.Cluster.Sim
+	net := ctx.Cluster.Net
+	driver := net.Node(ctx.Cluster.Driver)
+	ev := train.NewEvaluator(System, dataset, prm.Objective, evalData, prm.EvalEvery)
+	aggs := Aggregators(prm, k)
+	sched := prm.Schedule()
+
+	res := &train.Result{System: System, Curve: ev.Curve}
+	w := make([]float64, dim)
+	modelBytes := float64(dim) * engine.FloatBytes
+
+	sim.Spawn("driver:mllib", func(p *des.Proc) {
+		ev.Record(0, p.Now(), w)
+		for t := 1; t <= prm.MaxSteps; t++ {
+			stepW := w // tasks read, never write, the current model
+			payload := modelBytes
+			if prm.TorrentBroadcast {
+				// Chunked broadcast in its own stage; the gradient stage
+				// then ships only task descriptors.
+				ctx.BroadcastVec(p, fmt.Sprintf("bc%d", t), dim, true)
+				payload = 0
+			}
+			sum := ctx.TreeAggregateVec(p, fmt.Sprintf("mgd%d", t), dim+1, aggs, payload,
+				func(p *des.Proc, ex *engine.Executor, i int) []float64 {
+					local := parts[i]
+					rng := rand.New(rand.NewSource(prm.Seed + int64(t)*1_000_003 + int64(i)))
+					batch := sampleFraction(rng, local, prm.BatchFraction)
+					g := make([]float64, dim+1)
+					work := prm.Objective.AddGradient(stepW, batch, g[:dim])
+					// Sampling scans the partition; gradient work is nnz.
+					ex.Charge(p, float64(work)+float64(len(local)))
+					g[dim] = float64(len(batch))
+					return g
+				})
+			count := sum[dim]
+			if count > 0 {
+				eta := sched(t - 1)
+				inv := eta / count
+				for j := 0; j < dim; j++ {
+					w[j] -= inv*sum[j] + eta*prm.Objective.Reg.DerivAt(w[j])
+				}
+				driver.ComputeKind(p, float64(dim), trace.Update, "model update")
+				res.Updates++
+			}
+			res.CommSteps = t
+			if obj, recorded := ev.Record(t, p.Now(), w); recorded {
+				if prm.TargetObjective > 0 && obj <= prm.TargetObjective {
+					break
+				}
+			}
+			if prm.MaxSimTime > 0 && p.Now() >= prm.MaxSimTime {
+				break
+			}
+		}
+	})
+	res.SimTime = sim.Run()
+	res.FinalW = vec.Copy(w)
+	res.TotalBytes = net.TotalBytes()
+	return res, nil
+}
+
+// sampleFraction draws a Bernoulli sample of the partition, matching
+// Spark's RDD.sample(false, fraction) used by MLlib's mini-batch step.
+func sampleFraction(rng *rand.Rand, data []glm.Example, fraction float64) []glm.Example {
+	if fraction >= 1 {
+		return data
+	}
+	out := make([]glm.Example, 0, int(fraction*float64(len(data)))+1)
+	for _, e := range data {
+		if rng.Float64() < fraction {
+			out = append(out, e)
+		}
+	}
+	return out
+}

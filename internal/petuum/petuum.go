@@ -1,0 +1,170 @@
+// Package petuum implements a Petuum-like trainer on the parameter-server
+// substrate, following the paper's description of Petuum's GLM training:
+//
+//   - SendModel paradigm with per-batch communication: each communication
+//     step a worker pulls the model, processes one mini batch, and pushes
+//     its model delta to the servers.
+//   - When the regularization term is zero, the worker runs parallel SGD
+//     inside the batch (one update per example), so each communication step
+//     carries many model updates.
+//   - When the regularization term is nonzero, the worker performs one
+//     batch gradient-descent update per step — dense updates per batch are
+//     too expensive for per-example application, which is exactly why the
+//     paper observes Petuum falling behind on L2-regularized workloads.
+//   - Aggregation is model summation in original Petuum and model averaging
+//     in Petuum* (the paper's corrected variant); SSP staleness is
+//     configurable.
+package petuum
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mllibstar/internal/des"
+	"mllibstar/internal/glm"
+	"mllibstar/internal/opt"
+	"mllibstar/internal/ps"
+	"mllibstar/internal/simnet"
+	"mllibstar/internal/train"
+	"mllibstar/internal/vec"
+)
+
+// System labels for the two aggregation rules.
+const (
+	System     = "Petuum"  // model summation (the original implementation)
+	SystemStar = "Petuum*" // model averaging (the paper's corrected variant)
+)
+
+// Summation selects between Petuum (true) and Petuum* (false).
+type Summation bool
+
+// Train runs the Petuum-like trainer over the given worker nodes. parts
+// must have one partition per node, in node order.
+func Train(sim *des.Sim, net *simnet.Network, nodeNames []string, parts [][]glm.Example,
+	dim int, prm train.Params, evalData []glm.Example, dataset string, summation Summation) (*train.Result, error) {
+
+	if err := prm.Validate(); err != nil {
+		return nil, err
+	}
+	k := len(nodeNames)
+	if len(parts) != k {
+		return nil, fmt.Errorf("petuum: %d partitions for %d workers", len(parts), k)
+	}
+	if prm.BatchFraction <= 0 {
+		prm.BatchFraction = 0.01
+	}
+	system := SystemStar
+	scale := 1 / float64(k)
+	if summation {
+		system = System
+		scale = 1
+	}
+	deploy, err := ps.New(sim, net, nodeNames, ps.Config{
+		Dim: dim, Servers: k, Workers: k, Staleness: prm.Staleness, CombineScale: scale,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	ev := train.NewEvaluator(system, dataset, prm.Objective, evalData, prm.EvalEvery)
+	res := &train.Result{System: system, Curve: ev.Curve}
+	sched := prm.Schedule()
+	_, regIsNone := prm.Objective.Reg.(glm.None)
+	stop := false
+
+	for r := 0; r < k; r++ {
+		r := r
+		node := net.Node(nodeNames[r])
+		part := parts[r]
+		batchSize := max(1, int(prm.BatchFraction*float64(len(part))))
+		sim.Spawn(fmt.Sprintf("petuum:worker%d", r), func(p *des.Proc) {
+			cursor := 0
+			scratch := make([]float64, dim)
+			jitter := rand.New(rand.NewSource(prm.Seed + int64(r)*7907))
+			for t := 1; t <= prm.MaxSteps && !stop; t++ {
+				w := deploy.Pull(p, node.Name(), r, t-1)
+				if r == 0 {
+					// The model pulled at clock t−1 reflects t−1 completed
+					// communication steps.
+					if obj, recorded := ev.Record(t-1, p.Now(), w); recorded {
+						res.FinalW = w
+						if prm.TargetObjective > 0 && obj <= prm.TargetObjective {
+							stop = true
+							break
+						}
+					}
+					res.CommSteps = t
+					if prm.MaxSimTime > 0 && p.Now() >= prm.MaxSimTime {
+						stop = true
+						break
+					}
+				}
+				batch, next := window(part, cursor, batchSize)
+				cursor = next
+				eta := sched(t - 1)
+				var delta []float64
+				var work int
+				if regIsNone {
+					// Parallel SGD inside the batch: many updates per step.
+					local := vec.Copy(w)
+					work = opt.LocalPass(prm.Objective, local, batch, opt.Const(eta), 0)
+					delta = local
+					vec.AddScaled(delta, w, -1)
+					res.Updates += int64(len(batch))
+				} else {
+					// One dense batch-GD update per communication step.
+					delta = make([]float64, dim)
+					work = prm.Objective.AddGradient(w, batch, scratch) // scratch = Σ∇l
+					inv := eta / float64(len(batch))
+					for j := 0; j < dim; j++ {
+						delta[j] = -inv*scratch[j] - eta*prm.Objective.Reg.DerivAt(w[j])
+						scratch[j] = 0
+					}
+					work += 2 * dim
+					res.Updates++
+				}
+				effort := float64(work)
+				if prm.ComputeJitter > 0 {
+					effort *= 1 + prm.ComputeJitter*jitter.Float64()
+				}
+				node.Compute(p, effort)
+				deploy.Push(p, node.Name(), r, t, delta)
+			}
+			if r == 0 && !stop {
+				// Final pull so the curve includes the fully-merged model.
+				w := deploy.Pull(p, node.Name(), r, prm.MaxSteps)
+				ev.Record(prm.MaxSteps, p.Now(), w)
+				res.FinalW = w
+			}
+		})
+	}
+	res.SimTime = sim.Run()
+	res.TotalBytes = net.TotalBytes()
+	if res.FinalW == nil {
+		res.FinalW = make([]float64, dim)
+	}
+	return res, nil
+}
+
+// window returns a batch of size n starting at cursor, wrapping around the
+// partition, plus the next cursor position.
+func window(part []glm.Example, cursor, n int) ([]glm.Example, int) {
+	if n >= len(part) {
+		return part, 0
+	}
+	if cursor+n <= len(part) {
+		return part[cursor : cursor+n], (cursor + n) % len(part)
+	}
+	batch := make([]glm.Example, 0, n)
+	batch = append(batch, part[cursor:]...)
+	rem := n - len(batch)
+	batch = append(batch, part[:rem]...)
+	return batch, rem
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,202 @@
+// Package ps implements a parameter-server substrate in the style of
+// Petuum and Angel: the model is range-partitioned across server processes,
+// workers pull the full model and push deltas, and a consistency controller
+// gates pulls according to the Stale Synchronous Parallel (SSP) protocol —
+// staleness 0 is BSP, a large staleness approximates ASP.
+//
+// Server processes are co-located with worker nodes (the common production
+// deployment, and what keeps the hardware identical to the Spark cluster in
+// comparisons): server s owns the s-th contiguous range of the model and
+// serves requests over the node's simulated NIC, so pull/push traffic and
+// incast effects are modelled exactly like all other communication.
+package ps
+
+import (
+	"fmt"
+
+	"mllibstar/internal/des"
+	"mllibstar/internal/simnet"
+	"mllibstar/internal/trace"
+	"mllibstar/internal/vec"
+)
+
+// Config describes a parameter-server deployment.
+type Config struct {
+	Dim          int     // model dimension
+	Servers      int     // number of server processes (first Servers nodes host one each)
+	Workers      int     // number of workers participating in the SSP clock
+	Staleness    int     // SSP slack: a pull at clock c waits until min(clock) ≥ c − Staleness
+	CombineScale float64 // scale applied to pushed deltas: 1 = summation (Petuum), 1/Workers = averaging (Petuum*)
+}
+
+// Validate rejects inconsistent configurations.
+func (c Config) Validate() error {
+	if c.Dim <= 0 || c.Servers <= 0 || c.Workers <= 0 {
+		return fmt.Errorf("ps: dim=%d servers=%d workers=%d must be positive", c.Dim, c.Servers, c.Workers)
+	}
+	if c.Staleness < 0 {
+		return fmt.Errorf("ps: staleness %d", c.Staleness)
+	}
+	if c.CombineScale <= 0 {
+		return fmt.Errorf("ps: combine scale %g", c.CombineScale)
+	}
+	return nil
+}
+
+// requestBytes is the wire size of a pull request.
+const requestBytes = 64
+
+// PS is a running parameter-server deployment.
+type PS struct {
+	cfg   Config
+	net   *simnet.Network
+	hosts []string // node names hosting servers, in server order
+}
+
+type pullReq struct {
+	worker   int
+	clock    int
+	replyTo  string
+	replyTag string
+}
+
+type pushReq struct {
+	worker int
+	clock  int
+	vals   []float64
+}
+
+type rangeReply struct {
+	server int
+	vals   []float64
+}
+
+// server owns one contiguous model range.
+type server struct {
+	ps      *PS
+	index   int
+	node    *simnet.Node
+	model   []float64 // the owned range
+	clocks  []int     // last pushed clock per worker
+	pending []pullReq
+}
+
+// New spawns Servers server processes on the first Servers of the given
+// node names and returns the deployment handle. The model starts at zero.
+func New(sim *des.Sim, net *simnet.Network, nodeNames []string, cfg Config) (*PS, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Servers > len(nodeNames) {
+		return nil, fmt.Errorf("ps: %d servers but only %d nodes", cfg.Servers, len(nodeNames))
+	}
+	p := &PS{cfg: cfg, net: net, hosts: nodeNames[:cfg.Servers]}
+	for s := 0; s < cfg.Servers; s++ {
+		lo, hi := vec.PartitionRange(cfg.Dim, cfg.Servers, s)
+		srv := &server{
+			ps:     p,
+			index:  s,
+			node:   net.Node(nodeNames[s]),
+			model:  make([]float64, hi-lo),
+			clocks: make([]int, cfg.Workers),
+		}
+		sim.Spawn(fmt.Sprintf("ps:server%d", s), srv.serve)
+	}
+	return p, nil
+}
+
+// Config returns the deployment configuration.
+func (p *PS) Config() Config { return p.cfg }
+
+// serverTag is the request mailbox tag on a server's host node.
+func serverTag(s int) string { return fmt.Sprintf("ps.req%d", s) }
+
+// serve is the server loop: apply pushes immediately, gate pulls on SSP.
+func (s *server) serve(p *des.Proc) {
+	for {
+		msg := s.node.Recv(p, serverTag(s.index))
+		switch req := msg.Payload.(type) {
+		case pushReq:
+			// Applying a delta costs one unit per coordinate in the range.
+			s.node.ComputeKind(p, float64(len(req.vals)), trace.Update, "ps push")
+			vec.AddScaled(s.model, req.vals, s.ps.cfg.CombineScale)
+			if req.clock > s.clocks[req.worker] {
+				s.clocks[req.worker] = req.clock
+			}
+			s.release(p)
+		case pullReq:
+			if s.admissible(req.clock) {
+				s.reply(p, req)
+			} else {
+				s.pending = append(s.pending, req)
+			}
+		default:
+			panic(fmt.Sprintf("ps: unexpected request %T", msg.Payload))
+		}
+	}
+}
+
+// admissible implements the SSP gate.
+func (s *server) admissible(clock int) bool {
+	min := s.clocks[0]
+	for _, c := range s.clocks[1:] {
+		if c < min {
+			min = c
+		}
+	}
+	return min >= clock-s.ps.cfg.Staleness
+}
+
+// release answers every pending pull that the SSP gate now admits.
+func (s *server) release(p *des.Proc) {
+	kept := s.pending[:0]
+	for _, req := range s.pending {
+		if s.admissible(req.clock) {
+			s.reply(p, req)
+		} else {
+			kept = append(kept, req)
+		}
+	}
+	s.pending = kept
+}
+
+func (s *server) reply(p *des.Proc, req pullReq) {
+	snapshot := append([]float64(nil), s.model...)
+	s.node.Send(p, req.replyTo, req.replyTag,
+		float64(len(snapshot))*8, rangeReply{server: s.index, vals: snapshot})
+}
+
+// Pull fetches the full model for the given worker at the given clock,
+// blocking (per SSP) until every server's gate admits the request. The
+// calling process must run on the named node.
+func (p *PS) Pull(proc *des.Proc, nodeName string, worker, clock int) []float64 {
+	node := p.net.Node(nodeName)
+	replyTag := fmt.Sprintf("ps.pull.w%d", worker)
+	for s := 0; s < p.cfg.Servers; s++ {
+		node.Send(proc, p.hosts[s], serverTag(s),
+			requestBytes, pullReq{worker: worker, clock: clock, replyTo: nodeName, replyTag: replyTag})
+	}
+	w := make([]float64, p.cfg.Dim)
+	for i := 0; i < p.cfg.Servers; i++ {
+		msg := node.Recv(proc, replyTag)
+		r := msg.Payload.(rangeReply)
+		lo, _ := vec.PartitionRange(p.cfg.Dim, p.cfg.Servers, r.server)
+		copy(w[lo:], r.vals)
+	}
+	return w
+}
+
+// Push scatters the worker's delta to the owning servers and advances the
+// worker's clock. Deltas are applied server-side scaled by CombineScale.
+func (p *PS) Push(proc *des.Proc, nodeName string, worker, clock int, delta []float64) {
+	if len(delta) != p.cfg.Dim {
+		panic(fmt.Sprintf("ps: delta dim %d != %d", len(delta), p.cfg.Dim))
+	}
+	node := p.net.Node(nodeName)
+	for s := 0; s < p.cfg.Servers; s++ {
+		lo, hi := vec.PartitionRange(p.cfg.Dim, p.cfg.Servers, s)
+		chunk := append([]float64(nil), delta[lo:hi]...)
+		node.Send(proc, p.hosts[s], serverTag(s),
+			float64(hi-lo)*8, pushReq{worker: worker, clock: clock, vals: chunk})
+	}
+}

@@ -1,0 +1,187 @@
+package ps_test
+
+import (
+	"math"
+	"testing"
+
+	"mllibstar/internal/clusters"
+	"mllibstar/internal/des"
+	"mllibstar/internal/ps"
+	"mllibstar/internal/simnet"
+)
+
+func build(t *testing.T, workers int, cfg ps.Config) (*des.Sim, *simnet.Network, []string, *ps.PS) {
+	t.Helper()
+	sim, net, names := clusters.Test(workers).BuildNet(nil)
+	deploy, err := ps.New(sim, net, names, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim, net, names, deploy
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []ps.Config{
+		{Dim: 0, Servers: 1, Workers: 1, CombineScale: 1},
+		{Dim: 4, Servers: 0, Workers: 1, CombineScale: 1},
+		{Dim: 4, Servers: 1, Workers: 0, CombineScale: 1},
+		{Dim: 4, Servers: 1, Workers: 1, CombineScale: 0},
+		{Dim: 4, Servers: 1, Workers: 1, CombineScale: 1, Staleness: -1},
+	}
+	for i, c := range bad {
+		if c.Validate() == nil {
+			t.Errorf("case %d: want error for %+v", i, c)
+		}
+	}
+	good := ps.Config{Dim: 4, Servers: 2, Workers: 2, CombineScale: 1}
+	if err := good.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTooManyServers(t *testing.T) {
+	sim, net, names := clusters.Test(2).BuildNet(nil)
+	_ = sim
+	if _, err := ps.New(sim, net, names, ps.Config{Dim: 4, Servers: 3, Workers: 2, CombineScale: 1}); err == nil {
+		t.Error("want error for servers > nodes")
+	}
+}
+
+func TestPullInitialModelIsZero(t *testing.T) {
+	sim, _, names, deploy := build(t, 3, ps.Config{Dim: 10, Servers: 3, Workers: 1, CombineScale: 1})
+	sim.Spawn("w0", func(p *des.Proc) {
+		w := deploy.Pull(p, names[0], 0, 0)
+		for _, v := range w {
+			if v != 0 {
+				t.Errorf("initial model nonzero: %v", w)
+			}
+		}
+	})
+	sim.Run()
+}
+
+func TestPushThenPullRoundTrip(t *testing.T) {
+	const dim = 7
+	sim, _, names, deploy := build(t, 2, ps.Config{Dim: dim, Servers: 2, Workers: 1, CombineScale: 1})
+	delta := make([]float64, dim)
+	for i := range delta {
+		delta[i] = float64(i) + 1
+	}
+	sim.Spawn("w0", func(p *des.Proc) {
+		deploy.Push(p, names[0], 0, 1, delta)
+		w := deploy.Pull(p, names[0], 0, 1)
+		for i := range w {
+			if math.Abs(w[i]-delta[i]) > 1e-12 {
+				t.Fatalf("w[%d] = %g, want %g", i, w[i], delta[i])
+			}
+		}
+	})
+	sim.Run()
+}
+
+func TestCombineScaleAveraging(t *testing.T) {
+	// Two workers push the same delta with scale 1/2: the model becomes the
+	// average, not the sum.
+	const dim = 4
+	sim, _, names, deploy := build(t, 2, ps.Config{Dim: dim, Servers: 1, Workers: 2, CombineScale: 0.5})
+	delta := []float64{2, 2, 2, 2}
+	for w := 0; w < 2; w++ {
+		w := w
+		sim.Spawn("worker", func(p *des.Proc) {
+			deploy.Push(p, names[w], w, 1, delta)
+		})
+	}
+	sim.Run()
+	// Verify via a second simulation phase: not possible after Run; instead
+	// pull from within.
+	sim2, _, names2, deploy2 := build(t, 2, ps.Config{Dim: dim, Servers: 1, Workers: 2, CombineScale: 0.5})
+	var got []float64
+	for w := 0; w < 2; w++ {
+		w := w
+		sim2.Spawn("worker", func(p *des.Proc) {
+			deploy2.Push(p, names2[w], w, 1, delta)
+			if w == 0 {
+				got = deploy2.Pull(p, names2[w], w, 1)
+			}
+		})
+	}
+	sim2.Run()
+	for i := range got {
+		if math.Abs(got[i]-2) > 1e-12 {
+			t.Fatalf("averaged model = %v, want all 2", got)
+		}
+	}
+}
+
+func TestBSPGateBlocksFastWorker(t *testing.T) {
+	// Staleness 0: worker 0's pull for clock 1 must wait until worker 1 has
+	// pushed clock 1, even though worker 1 is much slower.
+	sim, net, names, deploy := build(t, 2, ps.Config{Dim: 4, Servers: 1, Workers: 2, CombineScale: 1})
+	var pulledAt float64
+	sim.Spawn("w0", func(p *des.Proc) {
+		deploy.Push(p, names[0], 0, 1, make([]float64, 4))
+		deploy.Pull(p, names[0], 0, 1)
+		pulledAt = p.Now()
+	})
+	sim.Spawn("w1", func(p *des.Proc) {
+		net.Node(names[1]).Compute(p, 5e7) // 5 seconds of work
+		deploy.Push(p, names[1], 1, 1, make([]float64, 4))
+	})
+	sim.Run()
+	if pulledAt < 5 {
+		t.Errorf("BSP pull admitted at %g, before the slow worker pushed (t=5)", pulledAt)
+	}
+}
+
+func TestSSPAdmitsStaleReads(t *testing.T) {
+	// Staleness 1: the same pull is admitted immediately (clock 1 − 1 ≤ 0,
+	// and all workers start at clock 0).
+	sim, net, names, deploy := build(t, 2, ps.Config{Dim: 4, Servers: 1, Workers: 2, CombineScale: 1, Staleness: 1})
+	var pulledAt float64
+	sim.Spawn("w0", func(p *des.Proc) {
+		deploy.Push(p, names[0], 0, 1, make([]float64, 4))
+		deploy.Pull(p, names[0], 0, 1)
+		pulledAt = p.Now()
+	})
+	sim.Spawn("w1", func(p *des.Proc) {
+		net.Node(names[1]).Compute(p, 5e7)
+		deploy.Push(p, names[1], 1, 1, make([]float64, 4))
+	})
+	sim.Run()
+	if pulledAt >= 5 {
+		t.Errorf("SSP pull blocked until %g despite staleness 1", pulledAt)
+	}
+}
+
+func TestPushWrongDimPanics(t *testing.T) {
+	sim, _, names, deploy := build(t, 1, ps.Config{Dim: 4, Servers: 1, Workers: 1, CombineScale: 1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	sim.Spawn("w0", func(p *des.Proc) {
+		deploy.Push(p, names[0], 0, 1, make([]float64, 3))
+	})
+	sim.Run()
+}
+
+func TestRangePartitioningAcrossServers(t *testing.T) {
+	// With 3 servers and dim 8, pushes land on the right ranges.
+	const dim = 8
+	sim, _, names, deploy := build(t, 3, ps.Config{Dim: dim, Servers: 3, Workers: 1, CombineScale: 1})
+	delta := make([]float64, dim)
+	for i := range delta {
+		delta[i] = float64(i * i)
+	}
+	sim.Spawn("w0", func(p *des.Proc) {
+		deploy.Push(p, names[0], 0, 1, delta)
+		w := deploy.Pull(p, names[0], 0, 1)
+		for i := range w {
+			if w[i] != delta[i] {
+				t.Fatalf("w = %v, want %v", w, delta)
+			}
+		}
+	})
+	sim.Run()
+}

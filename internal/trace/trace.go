@@ -1,0 +1,261 @@
+// Package trace records per-node activity spans during a simulated run and
+// renders them as gantt charts, reproducing the methodology of Figure 3 in
+// the MLlib* paper: one row per cluster node, one colored bar per activity.
+//
+// A nil *Recorder is valid and records nothing, so tracing can be switched
+// off with zero cost in the hot path.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind classifies what a node is doing during a span.
+type Kind int
+
+// Activity kinds, mirroring the bar colors of the paper's gantt charts.
+const (
+	Compute   Kind = iota // gradient/model computation over local data
+	Send                  // transmitting on the node's outbound NIC
+	Recv                  // receiving on the node's inbound NIC
+	Aggregate             // combining gradients or models
+	Update                // applying an update to the (global) model
+	Barrier               // waiting at a BSP barrier
+	Stage                 // stage bookkeeping on the driver (scheduling)
+)
+
+var kindNames = [...]string{"compute", "send", "recv", "aggregate", "update", "barrier", "stage"}
+
+// String returns the lower-case kind name used in CSV output.
+func (k Kind) String() string {
+	if k < 0 || int(k) >= len(kindNames) {
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+	return kindNames[k]
+}
+
+// glyphs used by the ASCII gantt renderer, one per Kind.
+var kindGlyphs = [...]byte{'C', 's', 'r', 'A', 'U', '.', '#'}
+
+// Span is one contiguous activity interval on one node.
+type Span struct {
+	Node  string
+	Kind  Kind
+	Start float64
+	End   float64
+	Note  string
+}
+
+// Marker is a vertical line annotation (the paper marks stage starts in red
+// and stage ends in green).
+type Marker struct {
+	At    float64
+	Label string
+}
+
+// Recorder accumulates spans and markers. It is used from DES process code,
+// which is single-threaded by construction, so no locking is needed.
+type Recorder struct {
+	spans   []Span
+	markers []Marker
+}
+
+// New returns an empty recorder.
+func New() *Recorder { return &Recorder{} }
+
+// Add records a span. Zero-length and nil-recorder adds are dropped.
+func (r *Recorder) Add(node string, kind Kind, start, end float64, note string) {
+	if r == nil || end <= start {
+		return
+	}
+	r.spans = append(r.spans, Span{Node: node, Kind: kind, Start: start, End: end, Note: note})
+}
+
+// Mark records a vertical marker at time at.
+func (r *Recorder) Mark(at float64, label string) {
+	if r == nil {
+		return
+	}
+	r.markers = append(r.markers, Marker{At: at, Label: label})
+}
+
+// Spans returns all recorded spans in insertion order.
+func (r *Recorder) Spans() []Span {
+	if r == nil {
+		return nil
+	}
+	return r.spans
+}
+
+// Horizon returns the largest span end time recorded.
+func (r *Recorder) Horizon() float64 {
+	if r == nil {
+		return 0
+	}
+	h := 0.0
+	for _, s := range r.spans {
+		if s.End > h {
+			h = s.End
+		}
+	}
+	return h
+}
+
+// Nodes returns the distinct node names, driver first (if present) and the
+// rest sorted, matching the paper's row order.
+func (r *Recorder) Nodes() []string {
+	if r == nil {
+		return nil
+	}
+	seen := map[string]bool{}
+	var names []string
+	for _, s := range r.spans {
+		if !seen[s.Node] {
+			seen[s.Node] = true
+			names = append(names, s.Node)
+		}
+	}
+	sort.Slice(names, func(i, j int) bool {
+		di, dj := strings.HasPrefix(names[i], "driver"), strings.HasPrefix(names[j], "driver")
+		if di != dj {
+			return di
+		}
+		return names[i] < names[j]
+	})
+	return names
+}
+
+// BusyTime returns, per node, the total time spent in each kind of activity.
+// Overlapping spans of the same kind are counted once.
+func (r *Recorder) BusyTime() map[string]map[Kind]float64 {
+	out := map[string]map[Kind]float64{}
+	if r == nil {
+		return out
+	}
+	type key struct {
+		node string
+		kind Kind
+	}
+	grouped := map[key][]Span{}
+	for _, s := range r.spans {
+		k := key{s.Node, s.Kind}
+		grouped[k] = append(grouped[k], s)
+	}
+	for k, spans := range grouped {
+		sort.Slice(spans, func(i, j int) bool { return spans[i].Start < spans[j].Start })
+		total, curStart, curEnd := 0.0, spans[0].Start, spans[0].End
+		for _, s := range spans[1:] {
+			if s.Start > curEnd {
+				total += curEnd - curStart
+				curStart, curEnd = s.Start, s.End
+			} else if s.End > curEnd {
+				curEnd = s.End
+			}
+		}
+		total += curEnd - curStart
+		if out[k.node] == nil {
+			out[k.node] = map[Kind]float64{}
+		}
+		out[k.node][k.kind] = total
+	}
+	return out
+}
+
+// Utilization returns the fraction of [0, Horizon] each node spends in any
+// recorded activity except Barrier (waiting does not count as useful work).
+func (r *Recorder) Utilization() map[string]float64 {
+	out := map[string]float64{}
+	h := r.Horizon()
+	if h == 0 {
+		return out
+	}
+	for node, kinds := range r.BusyTime() {
+		busy := 0.0
+		for k, t := range kinds {
+			if k != Barrier {
+				busy += t
+			}
+		}
+		out[node] = busy / h
+	}
+	return out
+}
+
+// RenderASCII renders the recorded spans as a fixed-width gantt chart:
+// one row per node, time scaled to width columns, later spans drawn over
+// earlier ones, '|' columns for markers, and a legend underneath.
+func (r *Recorder) RenderASCII(width int) string {
+	if r == nil || len(r.spans) == 0 {
+		return "(no activity recorded)\n"
+	}
+	if width < 10 {
+		width = 10
+	}
+	horizon := r.Horizon()
+	if horizon == 0 {
+		return "(no activity recorded)\n"
+	}
+	nodes := r.Nodes()
+	nameW := 0
+	for _, n := range nodes {
+		if len(n) > nameW {
+			nameW = len(n)
+		}
+	}
+	rows := map[string][]byte{}
+	for _, n := range nodes {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = ' '
+		}
+		rows[n] = row
+	}
+	col := func(t float64) int {
+		c := int(t / horizon * float64(width))
+		if c >= width {
+			c = width - 1
+		}
+		if c < 0 {
+			c = 0
+		}
+		return c
+	}
+	for _, s := range r.spans {
+		row := rows[s.Node]
+		lo, hi := col(s.Start), col(s.End)
+		for c := lo; c <= hi; c++ {
+			row[c] = kindGlyphs[s.Kind]
+		}
+	}
+	for _, m := range r.markers {
+		c := col(m.At)
+		for _, n := range nodes {
+			if rows[n][c] == ' ' {
+				rows[n][c] = '|'
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%*s  0%*s%.2fs\n", nameW, "", width-len(fmt.Sprintf("%.2fs", horizon))-1, "", horizon)
+	for _, n := range nodes {
+		fmt.Fprintf(&b, "%*s  %s\n", nameW, n, rows[n])
+	}
+	b.WriteString("legend: C=compute s=send r=recv A=aggregate U=update .=barrier-wait #=stage |=marker\n")
+	return b.String()
+}
+
+// CSV renders all spans as "node,kind,start,end,note" lines with a header,
+// suitable for external plotting.
+func (r *Recorder) CSV() string {
+	var b strings.Builder
+	b.WriteString("node,kind,start,end,note\n")
+	if r == nil {
+		return b.String()
+	}
+	for _, s := range r.spans {
+		fmt.Fprintf(&b, "%s,%s,%.9f,%.9f,%s\n", s.Node, s.Kind, s.Start, s.End, strings.ReplaceAll(s.Note, ",", ";"))
+	}
+	return b.String()
+}

@@ -1,0 +1,120 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	r.Add("n", Compute, 0, 1, "")
+	r.Mark(1, "x")
+	if r.Spans() != nil || r.Horizon() != 0 || r.Nodes() != nil {
+		t.Error("nil recorder leaked state")
+	}
+	if got := r.RenderASCII(40); !strings.Contains(got, "no activity") {
+		t.Errorf("render = %q", got)
+	}
+	if got := r.CSV(); got != "node,kind,start,end,note\n" {
+		t.Errorf("csv = %q", got)
+	}
+}
+
+func TestZeroLengthSpansDropped(t *testing.T) {
+	r := New()
+	r.Add("n", Compute, 5, 5, "")
+	r.Add("n", Compute, 5, 4, "")
+	if len(r.Spans()) != 0 {
+		t.Errorf("spans = %v", r.Spans())
+	}
+}
+
+func TestHorizonAndNodesOrder(t *testing.T) {
+	r := New()
+	r.Add("executor2", Compute, 0, 2, "")
+	r.Add("driver", Update, 2, 3, "")
+	r.Add("executor1", Compute, 0, 7, "")
+	if h := r.Horizon(); h != 7 {
+		t.Errorf("horizon = %g", h)
+	}
+	nodes := r.Nodes()
+	want := []string{"driver", "executor1", "executor2"}
+	for i, n := range want {
+		if nodes[i] != n {
+			t.Fatalf("nodes = %v, want %v", nodes, want)
+		}
+	}
+}
+
+func TestBusyTimeMergesOverlaps(t *testing.T) {
+	r := New()
+	r.Add("n", Compute, 0, 4, "")
+	r.Add("n", Compute, 2, 6, "") // overlaps, merged => [0,6]
+	r.Add("n", Compute, 10, 11, "")
+	r.Add("n", Send, 0, 1, "")
+	bt := r.BusyTime()
+	if got := bt["n"][Compute]; math.Abs(got-7) > 1e-12 {
+		t.Errorf("compute busy = %g, want 7", got)
+	}
+	if got := bt["n"][Send]; got != 1 {
+		t.Errorf("send busy = %g, want 1", got)
+	}
+}
+
+func TestUtilizationExcludesBarrier(t *testing.T) {
+	r := New()
+	r.Add("n", Compute, 0, 5, "")
+	r.Add("n", Barrier, 5, 10, "")
+	u := r.Utilization()
+	if got := u["n"]; math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("utilization = %g, want 0.5", got)
+	}
+}
+
+func TestRenderASCII(t *testing.T) {
+	r := New()
+	r.Add("driver", Update, 5, 10, "")
+	r.Add("executor1", Compute, 0, 5, "")
+	r.Mark(5, "stage end")
+	out := r.RenderASCII(20)
+	if !strings.Contains(out, "driver") || !strings.Contains(out, "executor1") {
+		t.Fatalf("missing rows:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	var drv, exe string
+	for _, l := range lines {
+		if strings.Contains(l, "driver") {
+			drv = l
+		}
+		if strings.Contains(l, "executor1") {
+			exe = l
+		}
+	}
+	if !strings.Contains(drv, "U") {
+		t.Errorf("driver row missing update glyph: %q", drv)
+	}
+	if !strings.Contains(exe, "C") {
+		t.Errorf("executor row missing compute glyph: %q", exe)
+	}
+	if !strings.Contains(out, "legend:") {
+		t.Error("missing legend")
+	}
+}
+
+func TestCSVEscapesCommas(t *testing.T) {
+	r := New()
+	r.Add("n", Recv, 0, 1, "a,b")
+	if !strings.Contains(r.CSV(), "a;b") {
+		t.Errorf("csv = %q", r.CSV())
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Compute.String() != "compute" || Stage.String() != "stage" {
+		t.Error("kind names wrong")
+	}
+	if Kind(99).String() != "kind(99)" {
+		t.Error("out-of-range kind")
+	}
+}

@@ -1,0 +1,168 @@
+// Package train defines the configuration and result types shared by every
+// distributed GLM trainer in this repository (MLlib baseline, MLlib+MA,
+// MLlib*, Petuum, Petuum*, Angel), plus the out-of-band evaluator that
+// records convergence curves.
+//
+// Evaluation is instrumentation: computing f(w, X) between communication
+// steps does not consume simulated time, mirroring how the paper's plots
+// track the objective without perturbing the measured run.
+package train
+
+import (
+	"fmt"
+
+	"mllibstar/internal/glm"
+	"mllibstar/internal/metrics"
+	"mllibstar/internal/opt"
+)
+
+// Params configures a distributed training run.
+type Params struct {
+	Objective glm.Objective
+	Eta       float64 // base learning rate
+	Decay     bool    // use eta/sqrt(t) decay instead of a constant rate
+
+	// BatchFraction is the mini-batch size as a fraction of the full
+	// dataset, for the SendGradient paradigm (MLlib) and the per-batch
+	// systems (Petuum, Angel). MLlib* passes the whole partition per step.
+	BatchFraction float64
+
+	// MaxSteps bounds the number of communication steps.
+	MaxSteps int
+	// MaxSimTime bounds the simulated seconds (0 = unbounded).
+	MaxSimTime float64
+	// TargetObjective stops the run early once reached (0 = disabled).
+	TargetObjective float64
+
+	// LocalPasses is how many passes over its local partition each worker
+	// makes per communication step in the SendModel paradigm (default 1).
+	LocalPasses int
+
+	// AdaGrad switches the SendModel local optimizer from SGD to AdaGrad
+	// (per-coordinate adaptive step sizes, persistent accumulators per
+	// worker across communication steps).
+	AdaGrad bool
+
+	// Reweight enables Splash-style [Zhang & Jordan, 15] reweighted model
+	// averaging in MLlib*: each worker takes its local steps with the step
+	// size scaled by the number of workers — as if its partition were the
+	// whole dataset — before the models are averaged, which keeps the
+	// expected update unbiased while averaging reduces its variance.
+	Reweight bool
+
+	// Aggregators is the fan-in of MLlib's treeAggregate: how many executors
+	// act as intermediate aggregators (0 = ceil(sqrt(k)), MLlib's depth-2
+	// default; k = flat aggregation at the driver).
+	Aggregators int
+
+	// TorrentBroadcast distributes the model with Spark's TorrentBroadcast
+	// (driver ships one chunk per executor, executors exchange chunks)
+	// instead of shipping the full model with every task descriptor.
+	TorrentBroadcast bool
+
+	// EvalEvery records the objective every EvalEvery communication steps
+	// (default 1).
+	EvalEvery int
+
+	// Staleness is the SSP slack for parameter-server systems (0 = BSP).
+	Staleness int
+
+	// ComputeJitter adds transient per-step compute noise to
+	// parameter-server workers: each step's work is inflated by a uniform
+	// factor in [1, 1+ComputeJitter], sampled deterministically per
+	// (worker, step). It models the short-lived stragglers that SSP's
+	// bounded staleness exists to hide.
+	ComputeJitter float64
+
+	Seed int64
+}
+
+// Validate fills defaults and rejects nonsensical parameters.
+func (p *Params) Validate() error {
+	if p.Objective.Loss == nil || p.Objective.Reg == nil {
+		return fmt.Errorf("train: objective not fully specified")
+	}
+	if p.Eta <= 0 {
+		return fmt.Errorf("train: eta %g must be positive", p.Eta)
+	}
+	if p.MaxSteps <= 0 {
+		return fmt.Errorf("train: MaxSteps %d must be positive", p.MaxSteps)
+	}
+	if p.BatchFraction < 0 || p.BatchFraction > 1 {
+		return fmt.Errorf("train: batch fraction %g out of [0,1]", p.BatchFraction)
+	}
+	if p.EvalEvery <= 0 {
+		p.EvalEvery = 1
+	}
+	if p.LocalPasses <= 0 {
+		p.LocalPasses = 1
+	}
+	if p.Staleness < 0 {
+		return fmt.Errorf("train: staleness %d must be >= 0", p.Staleness)
+	}
+	if p.Aggregators < 0 {
+		return fmt.Errorf("train: aggregators %d must be >= 0", p.Aggregators)
+	}
+	return nil
+}
+
+// Schedule returns the learning-rate schedule implied by the params.
+func (p *Params) Schedule() opt.Schedule {
+	if p.Decay {
+		return opt.InvSqrt(p.Eta)
+	}
+	return opt.Const(p.Eta)
+}
+
+// Result captures the outcome of a distributed training run.
+type Result struct {
+	System     string
+	Curve      *metrics.Curve
+	FinalW     []float64
+	SimTime    float64 // total simulated seconds
+	CommSteps  int     // communication steps executed
+	TotalBytes float64 // payload bytes moved over the network
+	Updates    int64   // total model updates applied (local or global)
+}
+
+// Evaluator records convergence points against a fixed evaluation set.
+type Evaluator struct {
+	Objective glm.Objective
+	Data      []glm.Example
+	Curve     *metrics.Curve
+	every     int
+}
+
+// NewEvaluator builds an evaluator recording to a fresh curve.
+func NewEvaluator(system, dataset string, obj glm.Objective, evalData []glm.Example, every int) *Evaluator {
+	if every <= 0 {
+		every = 1
+	}
+	return &Evaluator{
+		Objective: obj,
+		Data:      evalData,
+		Curve:     metrics.NewCurve(system, dataset),
+		every:     every,
+	}
+}
+
+// Record evaluates w and appends a point if step is on the evaluation
+// cadence (step 0 and every `every` steps). It returns the objective when
+// evaluated, or NaN when skipped.
+func (ev *Evaluator) Record(step int, simTime float64, w []float64) (float64, bool) {
+	if step%ev.every != 0 {
+		return 0, false
+	}
+	obj := ev.Objective.Value(w, ev.Data)
+	ev.Curve.Add(step, simTime, obj)
+	return obj, true
+}
+
+// Reached reports whether the target objective has been met (target 0 means
+// never).
+func (ev *Evaluator) Reached(target float64) bool {
+	if target <= 0 || ev.Curve.Len() == 0 {
+		return false
+	}
+	return ev.Curve.Final().Objective <= target
+}

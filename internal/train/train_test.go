@@ -1,0 +1,95 @@
+package train
+
+import (
+	"math"
+	"testing"
+
+	"mllibstar/internal/glm"
+	"mllibstar/internal/vec"
+)
+
+func validParams() Params {
+	return Params{Objective: glm.SVM(0.1), Eta: 0.1, MaxSteps: 10}
+}
+
+func TestValidateDefaults(t *testing.T) {
+	p := validParams()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.EvalEvery != 1 || p.LocalPasses != 1 {
+		t.Errorf("defaults not filled: %+v", p)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []func(*Params){
+		func(p *Params) { p.Objective = glm.Objective{} },
+		func(p *Params) { p.Eta = 0 },
+		func(p *Params) { p.MaxSteps = 0 },
+		func(p *Params) { p.BatchFraction = 1.5 },
+		func(p *Params) { p.BatchFraction = -0.1 },
+		func(p *Params) { p.Staleness = -1 },
+		func(p *Params) { p.Aggregators = -1 },
+	}
+	for i, mutate := range cases {
+		p := validParams()
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: want error for %+v", i, p)
+		}
+	}
+}
+
+func TestScheduleSelection(t *testing.T) {
+	p := validParams()
+	if s := p.Schedule(); s(0) != 0.1 || s(99) != 0.1 {
+		t.Error("constant schedule wrong")
+	}
+	p.Decay = true
+	s := p.Schedule()
+	if s(0) != 0.1 || math.Abs(s(3)-0.05) > 1e-12 {
+		t.Errorf("decay schedule wrong: %g %g", s(0), s(3))
+	}
+}
+
+func TestEvaluatorCadence(t *testing.T) {
+	data := []glm.Example{
+		{Label: 1, X: vec.SparseFromMap(map[int32]float64{0: 1})},
+	}
+	ev := NewEvaluator("s", "d", glm.SVM(0), data, 3)
+	w := []float64{0}
+	if _, rec := ev.Record(0, 0, w); !rec {
+		t.Error("step 0 should be recorded")
+	}
+	if _, rec := ev.Record(1, 1, w); rec {
+		t.Error("step 1 should be skipped with every=3")
+	}
+	if _, rec := ev.Record(3, 3, w); !rec {
+		t.Error("step 3 should be recorded")
+	}
+	if ev.Curve.Len() != 2 {
+		t.Errorf("curve len = %d", ev.Curve.Len())
+	}
+}
+
+func TestEvaluatorReached(t *testing.T) {
+	data := []glm.Example{
+		{Label: 1, X: vec.SparseFromMap(map[int32]float64{0: 1})},
+	}
+	ev := NewEvaluator("s", "d", glm.SVM(0), data, 1)
+	if ev.Reached(0.5) {
+		t.Error("empty curve should not reach")
+	}
+	ev.Record(0, 0, []float64{0}) // hinge loss at zero model = 1
+	if ev.Reached(0.5) {
+		t.Error("objective 1 should not reach 0.5")
+	}
+	ev.Record(1, 1, []float64{5}) // margin 5: loss 0
+	if !ev.Reached(0.5) {
+		t.Error("objective 0 should reach 0.5")
+	}
+	if ev.Reached(0) {
+		t.Error("target 0 means disabled")
+	}
+}

@@ -1,0 +1,117 @@
+package mllibstar
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestModelSaveLoadRoundTrip(t *testing.T) {
+	ds := toyDataset()
+	res, err := Train(ds, Config{MaxSteps: 10, Eta: 0.3, Decay: true, Loss: "logistic"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.Model.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Weights) != len(res.Model.Weights) {
+		t.Fatalf("weights len %d != %d", len(back.Weights), len(res.Model.Weights))
+	}
+	for i := range back.Weights {
+		if back.Weights[i] != res.Model.Weights[i] {
+			t.Fatalf("weight %d differs", i)
+		}
+	}
+	// Predictions identical.
+	for _, e := range ds.Examples[:10] {
+		if back.Predict(e) != res.Model.Predict(e) {
+			t.Fatal("prediction differs after round trip")
+		}
+	}
+}
+
+func TestLoadModelErrors(t *testing.T) {
+	if _, err := LoadModel(strings.NewReader("not json")); err == nil {
+		t.Error("want decode error")
+	}
+	if _, err := LoadModel(strings.NewReader(`{"format":"other","weights":[]}`)); err == nil {
+		t.Error("want format error")
+	}
+	if _, err := LoadModel(strings.NewReader(`{"format":"mllibstar-model-v1","loss":"nope","weights":[]}`)); err == nil {
+		t.Error("want loss error")
+	}
+}
+
+func TestSplitAndKFoldPublic(t *testing.T) {
+	ds := toyDataset()
+	train, test, err := SplitDataset(ds, 0.25, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(train.Examples)+len(test.Examples) != len(ds.Examples) {
+		t.Error("split lost examples")
+	}
+	folds, err := KFold(ds, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(folds) != 4 {
+		t.Errorf("folds = %d", len(folds))
+	}
+}
+
+func TestDatasetFromTokens(t *testing.T) {
+	ds, err := DatasetFromTokens("txt", 256,
+		[]float64{1, -1},
+		[][]string{{"win", "prize"}, {"meeting", "report"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Examples) != 2 || ds.Features != 256 {
+		t.Errorf("ds = %v", ds.Stats())
+	}
+	if ds.Examples[0].X.NNZ() == 0 {
+		t.Error("no hashed features")
+	}
+	if _, err := DatasetFromTokens("bad", 256, []float64{1}, nil); err == nil {
+		t.Error("want length mismatch error")
+	}
+}
+
+func TestStandardizeFeatures(t *testing.T) {
+	ds := toyDataset()
+	scaled := StandardizeFeatures(ds)
+	if len(scaled.Examples) != len(ds.Examples) {
+		t.Fatal("examples lost")
+	}
+	// Training on standardized features must still work.
+	res, err := Train(scaled, Config{MaxSteps: 10, Eta: 0.3, Decay: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Curve.Best() >= res.Curve.Points[0].Objective {
+		t.Error("no progress on standardized data")
+	}
+}
+
+func TestTrainTestGeneralization(t *testing.T) {
+	// End-to-end ML-practice flow: split, train, evaluate held-out AUC.
+	ds := GenerateDataset("gen", 4000, 300, 10, 5)
+	train, test, err := SplitDataset(ds, 0.25, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Train(train, Config{Loss: "logistic", L2: 0.001, Eta: 0.3, Decay: true, MaxSteps: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc := res.Model.AUC(test.Examples); auc < 0.8 {
+		t.Errorf("held-out AUC = %g, want > 0.8", auc)
+	}
+}
