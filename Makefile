@@ -1,0 +1,26 @@
+# Development entry points. `make check` is the full local gate — the same
+# set of steps CI runs (.github/workflows/ci.yml).
+
+GO ?= go
+
+.PHONY: build test race lint fuzz check clean
+
+build: ## compile everything
+	$(GO) build ./...
+
+test: ## unit tests
+	$(GO) test ./...
+
+race: ## unit tests under the race detector
+	$(GO) test -race ./...
+
+lint: ## go vet + the repo's own analyzers (internal/analysis)
+	$(GO) run ./cmd/mlstar-lint ./...
+
+fuzz: ## short fuzz run of the libsvm reader
+	$(GO) test -fuzz=FuzzReadLibSVM -fuzztime=10s ./internal/data
+
+check: build lint race fuzz ## everything CI runs
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,143 @@
+// Command mlstar-lint is the repository's lint gate: it runs go vet plus
+// the project-specific analyzers (determinism, vecalias, floateq,
+// errdiscard, gocapture) over the given package patterns and exits non-zero
+// on any finding.
+//
+// Usage:
+//
+//	mlstar-lint ./...                # the CI gate
+//	mlstar-lint -vet=false ./...     # custom analyzers only
+//	mlstar-lint -list                # describe the analyzers and their scopes
+//
+// Findings are suppressed per line with `//mlstar:nolint <analyzer> --
+// reason`; see internal/analysis. Each analyzer applies to a fixed set of
+// package-path prefixes (its scope) chosen to match where its invariant is
+// load-bearing; -list prints them.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"sort"
+	"strings"
+
+	"mllibstar/internal/analysis"
+	"mllibstar/internal/analysis/determinism"
+	"mllibstar/internal/analysis/errdiscard"
+	"mllibstar/internal/analysis/floateq"
+	"mllibstar/internal/analysis/gocapture"
+	"mllibstar/internal/analysis/loader"
+	"mllibstar/internal/analysis/vecalias"
+)
+
+// analyzers is the suite, in reporting order.
+var analyzers = []*analysis.Analyzer{
+	determinism.Analyzer,
+	vecalias.Analyzer,
+	floateq.Analyzer,
+	errdiscard.Analyzer,
+	gocapture.Analyzer,
+}
+
+func main() {
+	var (
+		vet  = flag.Bool("vet", true, "also run go vet on the same patterns")
+		list = flag.Bool("list", false, "describe the analyzers and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+			if len(a.DefaultScope) > 0 {
+				fmt.Printf("%-12s scope: %s\n", "", strings.Join(a.DefaultScope, ", "))
+			} else {
+				fmt.Printf("%-12s scope: all packages\n", "")
+			}
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	failed := false
+	if *vet {
+		cmd := exec.Command("go", append([]string{"vet"}, patterns...)...)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err != nil {
+			failed = true
+		}
+	}
+
+	pkgs, err := loader.Load("", patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	type finding struct {
+		file     string
+		line     int
+		col      int
+		analyzer string
+		message  string
+	}
+	var findings []finding
+	sup := analysis.NewSuppressor()
+
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			if !a.InScope(pkg.PkgPath) {
+				continue
+			}
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+			}
+			pass.Report = func(d analysis.Diagnostic) {
+				pos := pkg.Fset.Position(d.Pos)
+				if sup.Suppressed(pos.Filename, pos.Line, a.Name) {
+					return
+				}
+				findings = append(findings, finding{
+					file: pos.Filename, line: pos.Line, col: pos.Column,
+					analyzer: a.Name, message: d.Message,
+				})
+			}
+			if err := a.Run(pass); err != nil {
+				fmt.Fprintf(os.Stderr, "mlstar-lint: %s on %s: %v\n", a.Name, pkg.PkgPath, err)
+				os.Exit(2)
+			}
+		}
+	}
+
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.file != b.file {
+			return a.file < b.file
+		}
+		if a.line != b.line {
+			return a.line < b.line
+		}
+		return a.col < b.col
+	})
+	for _, f := range findings {
+		fmt.Printf("%s:%d:%d: [%s] %s\n", f.file, f.line, f.col, f.analyzer, f.message)
+	}
+	if len(findings) > 0 {
+		fmt.Printf("mlstar-lint: %d finding(s)\n", len(findings))
+		failed = true
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

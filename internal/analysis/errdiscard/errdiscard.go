@@ -1,0 +1,96 @@
+// Package errdiscard implements the dropped-error lint: a call whose last
+// result is an error, used as a bare statement, silently swallows the
+// failure. In this codebase a swallowed error usually means a benchmark
+// artifact was not written or a model file was truncated — failures that
+// must surface, not vanish.
+//
+// Explicitly discarding with `_ =` (or `x, _ :=`) stays legal: the blank
+// identifier is a visible, reviewable statement of intent. Deferred calls
+// (`defer f.Close()`) are likewise not flagged. Writers that are documented
+// never to fail — fmt printing, strings.Builder, bytes.Buffer — are
+// allowlisted so idiomatic formatting code stays clean.
+package errdiscard
+
+import (
+	"go/ast"
+	"go/types"
+
+	"mllibstar/internal/analysis"
+)
+
+// Analyzer is the dropped-error check; it applies to every package.
+var Analyzer = &analysis.Analyzer{
+	Name: "errdiscard",
+	Doc:  "forbid calls that drop an error result on the floor",
+	Run:  run,
+}
+
+// allowPkgs are packages whose package-level functions may be called as
+// statements even though they formally return an error: their failures are
+// either impossible (in-memory writers) or universally ignored by idiom.
+var allowPkgs = map[string]bool{
+	"fmt": true,
+}
+
+// allowRecvTypes are receiver types whose methods never fail in practice
+// (their Write/WriteString and friends are documented to always succeed).
+var allowRecvTypes = map[string]bool{
+	"*strings.Builder": true,
+	"strings.Builder":  true,
+	"*bytes.Buffer":    true,
+	"bytes.Buffer":     true,
+}
+
+func run(pass *analysis.Pass) error {
+	pass.Inspect(func(n ast.Node) bool {
+		stmt, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return true
+		}
+		call, ok := ast.Unparen(stmt.X).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if !returnsError(pass, call) || allowed(pass, call) {
+			return true
+		}
+		pass.Reportf(call.Pos(), "call discards its error result; handle it or discard explicitly with _ =")
+		return true
+	})
+	return nil
+}
+
+// returnsError reports whether the call's last result is of type error.
+func returnsError(pass *analysis.Pass, call *ast.CallExpr) bool {
+	tv, ok := pass.TypesInfo.Types[call]
+	if !ok {
+		return false
+	}
+	var last types.Type
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		if t.Len() == 0 {
+			return false
+		}
+		last = t.At(t.Len() - 1).Type()
+	default:
+		last = t
+	}
+	named, ok := last.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+func allowed(pass *analysis.Pass, call *ast.CallExpr) bool {
+	fn := analysis.FuncOf(pass.TypesInfo, call)
+	if fn == nil {
+		return false // calls through function values are not allowlisted
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	if sig.Recv() == nil {
+		return fn.Pkg() != nil && allowPkgs[fn.Pkg().Path()]
+	}
+	return allowRecvTypes[sig.Recv().Type().String()]
+}

@@ -1,0 +1,12 @@
+package errdiscard_test
+
+import (
+	"testing"
+
+	"mllibstar/internal/analysis/analysistest"
+	"mllibstar/internal/analysis/errdiscard"
+)
+
+func TestErrDiscard(t *testing.T) {
+	analysistest.Run(t, "testdata/src/a", errdiscard.Analyzer)
+}

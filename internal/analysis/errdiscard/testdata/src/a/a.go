@@ -1,0 +1,77 @@
+// Corpus for the errdiscard analyzer: bare statement calls whose last
+// result is an error are flagged; explicit discards, deferred calls, and
+// never-failing writers are clean.
+package a
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+)
+
+func fails() error { return errors.New("boom") }
+
+func twoResults() (int, error) { return 0, errors.New("boom") }
+
+type flusher struct{}
+
+func (*flusher) flush() error { return nil }
+
+func dropped() {
+	fails() // want `call discards its error result`
+}
+
+func droppedTuple() {
+	twoResults() // want `call discards its error result`
+}
+
+func droppedMethod(f *flusher) {
+	f.flush() // want `call discards its error result`
+}
+
+func droppedFuncValue(f func() error) {
+	f() // want `call discards its error result`
+}
+
+// Clean: the blank identifier is a visible statement of intent.
+func explicit() {
+	_ = fails()
+}
+
+// Clean: handled.
+func handled() error {
+	if err := fails(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Clean: deferred cleanup is idiomatic.
+func deferred(f *flusher) {
+	defer f.flush()
+}
+
+// Clean: fmt printing is allowlisted.
+func printing() {
+	fmt.Println("hello")
+}
+
+// Clean: strings.Builder writes are documented never to fail.
+func builder() string {
+	var b strings.Builder
+	b.WriteString("x")
+	return b.String()
+}
+
+// Clean: bytes.Buffer writes are documented never to fail.
+func buffer() string {
+	var b bytes.Buffer
+	b.WriteString("x")
+	return b.String()
+}
+
+// Clean: calls with no error result.
+func pure() {
+	println("x")
+}

@@ -1,0 +1,86 @@
+// Package floateq implements the float-safety lint: == and != on
+// floating-point operands are flagged, because convergence and termination
+// logic written with exact equality silently depends on the accumulation
+// order of rounding error — precisely what varies when the same training
+// run is re-expressed over a different aggregation topology (treeAggregate
+// vs AllReduce), which is the comparison this repository exists to make.
+//
+// Two idioms remain allowed:
+//
+//   - comparison against an exact-zero constant (x == 0): zero is exactly
+//     representable and widely used as a "never touched / skip this entry"
+//     sentinel in the sparse kernels;
+//   - x != x (and x == x): the standard NaN probe.
+//
+// Everything else should go through a tolerance helper (vec.EqTol) or an
+// explicit sentinel comparison annotated //mlstar:nolint floateq.
+package floateq
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+
+	"mllibstar/internal/analysis"
+)
+
+// Analyzer is the float-equality check. It applies everywhere: float
+// comparison semantics do not depend on which package they sit in.
+var Analyzer = &analysis.Analyzer{
+	Name: "floateq",
+	Doc:  "forbid ==/!= on floating-point values except exact-zero sentinels and NaN probes",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	pass.Inspect(func(n ast.Node) bool {
+		bin, ok := n.(*ast.BinaryExpr)
+		if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+			return true
+		}
+		xt, xok := pass.TypesInfo.Types[bin.X]
+		yt, yok := pass.TypesInfo.Types[bin.Y]
+		if !xok || !yok || !analysis.IsFloat(xt.Type) || !analysis.IsFloat(yt.Type) {
+			return true
+		}
+		if isExactZero(xt.Value) || isExactZero(yt.Value) {
+			return true
+		}
+		if isNaNProbe(pass, bin) {
+			return true
+		}
+		pass.Reportf(bin.OpPos,
+			"floating-point %s compares for exact equality; use a tolerance (vec.EqTol) or an exact-zero sentinel", bin.Op)
+		return true
+	})
+	return nil
+}
+
+// isExactZero reports whether the operand is a compile-time constant equal
+// to zero.
+func isExactZero(v constant.Value) bool {
+	if v == nil {
+		return false
+	}
+	f, ok := constant.Float64Val(constant.ToFloat(v))
+	return ok && f == 0
+}
+
+// isNaNProbe recognizes x != x / x == x over side-effect-free operands.
+func isNaNProbe(pass *analysis.Pass, bin *ast.BinaryExpr) bool {
+	return sameSimpleExpr(pass, bin.X, bin.Y)
+}
+
+// sameSimpleExpr reports whether a and b are the same identifier or the
+// same selector chain over identifiers.
+func sameSimpleExpr(pass *analysis.Pass, a, b ast.Expr) bool {
+	switch a := ast.Unparen(a).(type) {
+	case *ast.Ident:
+		bi, ok := ast.Unparen(b).(*ast.Ident)
+		return ok && pass.TypesInfo.Uses[a] != nil && pass.TypesInfo.Uses[a] == pass.TypesInfo.Uses[bi]
+	case *ast.SelectorExpr:
+		bs, ok := ast.Unparen(b).(*ast.SelectorExpr)
+		return ok && a.Sel.Name == bs.Sel.Name && sameSimpleExpr(pass, a.X, bs.X)
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package floateq_test
+
+import (
+	"testing"
+
+	"mllibstar/internal/analysis/analysistest"
+	"mllibstar/internal/analysis/floateq"
+)
+
+func TestFloatEq(t *testing.T) {
+	analysistest.Run(t, "testdata/src/a", floateq.Analyzer)
+}

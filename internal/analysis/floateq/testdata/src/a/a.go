@@ -1,0 +1,55 @@
+// Corpus for the floateq analyzer: ==/!= on floats is flagged except for
+// exact-zero sentinels and NaN probes.
+package a
+
+func exactEq(a, b float64) bool {
+	return a == b // want `floating-point == compares for exact equality`
+}
+
+func exactNeq(a, b float64) bool {
+	return a != b // want `floating-point != compares for exact equality`
+}
+
+func exactEq32(a, b float32) bool {
+	return a == b // want `floating-point == compares for exact equality`
+}
+
+func converted(a float64, b int) bool {
+	return a == float64(b) // want `floating-point == compares for exact equality`
+}
+
+// Clean: zero is exactly representable and a valid sentinel.
+func zeroSentinel(a float64) bool {
+	return a == 0
+}
+
+const zero = 0.0
+
+// Clean: a named constant that is exactly zero is still a sentinel.
+func namedZero(a float64) bool {
+	return a != zero
+}
+
+// Clean: the standard NaN probe.
+func isNaN(a float64) bool {
+	return a != a
+}
+
+type point struct {
+	x float64
+}
+
+// Clean: NaN probe through a selector chain.
+func isNaNField(p point) bool {
+	return p.x != p.x
+}
+
+// Clean: integers compare exactly.
+func intEq(a, b int) bool {
+	return a == b
+}
+
+// Clean: ordering comparisons carry no exact-equality hazard.
+func less(a, b float64) bool {
+	return a < b
+}

@@ -1,0 +1,120 @@
+// Package gocapture implements the goroutine-capture lint: a goroutine
+// launched inside a loop whose function literal reads the loop variable by
+// capture is flagged; the variable should be passed as an argument.
+//
+// Since Go 1.22 each loop iteration gets a fresh variable, so this is no
+// longer the classic shared-variable bug — but the engine's roadmap points
+// toward real parallelism, where a captured loop variable in a goroutine is
+// still the pattern most likely to turn into an unintended shared read
+// (and, the moment anyone writes to it, a data race that go test -race has
+// to catch dynamically instead of this analyzer catching statically).
+// Passing the value as an argument makes the ownership transfer explicit
+// and keeps the goroutine body oblivious to the loop around it.
+package gocapture
+
+import (
+	"go/ast"
+	"go/types"
+
+	"mllibstar/internal/analysis"
+)
+
+// Analyzer is the goroutine loop-capture check; it applies to every
+// package.
+var Analyzer = &analysis.Analyzer{
+	Name: "gocapture",
+	Doc:  "forbid goroutines that capture their loop variable instead of taking it as an argument",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		var loopVars []map[types.Object]bool
+
+		var walk func(n ast.Node)
+		walk = func(n ast.Node) {
+			switch n := n.(type) {
+			case nil:
+				return
+			case *ast.RangeStmt:
+				vars := map[types.Object]bool{}
+				for _, e := range []ast.Expr{n.Key, n.Value} {
+					if id, ok := e.(*ast.Ident); ok {
+						if obj := pass.TypesInfo.Defs[id]; obj != nil {
+							vars[obj] = true
+						}
+					}
+				}
+				loopVars = append(loopVars, vars)
+				walk(n.Body)
+				loopVars = loopVars[:len(loopVars)-1]
+				return
+			case *ast.ForStmt:
+				vars := map[types.Object]bool{}
+				if init, ok := n.Init.(*ast.AssignStmt); ok {
+					for _, lhs := range init.Lhs {
+						if id, ok := lhs.(*ast.Ident); ok {
+							if obj := pass.TypesInfo.Defs[id]; obj != nil {
+								vars[obj] = true
+							}
+						}
+					}
+				}
+				loopVars = append(loopVars, vars)
+				walk(n.Body)
+				loopVars = loopVars[:len(loopVars)-1]
+				return
+			case *ast.GoStmt:
+				if lit, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok && len(loopVars) > 0 {
+					checkCapture(pass, lit, loopVars)
+				}
+				// Arguments (including nested literals) still deserve a walk.
+				for _, arg := range n.Call.Args {
+					walk(arg)
+				}
+				if lit, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+					walk(lit.Body)
+				}
+				return
+			}
+			// Generic traversal for everything else.
+			ast.Inspect(n, func(child ast.Node) bool {
+				if child == n {
+					return true
+				}
+				switch child.(type) {
+				case *ast.RangeStmt, *ast.ForStmt, *ast.GoStmt:
+					walk(child)
+					return false
+				}
+				return true
+			})
+		}
+		walk(file)
+	}
+	return nil
+}
+
+// checkCapture reports references inside the goroutine literal to any
+// enclosing loop's iteration variables.
+func checkCapture(pass *analysis.Pass, lit *ast.FuncLit, loopVars []map[types.Object]bool) {
+	reported := map[types.Object]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil || reported[obj] {
+			return true
+		}
+		for _, vars := range loopVars {
+			if vars[obj] {
+				reported[obj] = true
+				pass.Reportf(id.Pos(),
+					"goroutine captures loop variable %s; pass it as an argument to the function literal", obj.Name())
+			}
+		}
+		return true
+	})
+}

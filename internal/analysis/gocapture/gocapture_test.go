@@ -1,0 +1,12 @@
+package gocapture_test
+
+import (
+	"testing"
+
+	"mllibstar/internal/analysis/analysistest"
+	"mllibstar/internal/analysis/gocapture"
+)
+
+func TestGoCapture(t *testing.T) {
+	analysistest.Run(t, "testdata/src/a", gocapture.Analyzer)
+}

@@ -1,0 +1,76 @@
+// Corpus for the gocapture analyzer: goroutines launched in a loop must
+// take the iteration variable as an argument, not read it by capture.
+package a
+
+func sink(int) {}
+
+func rangeKeyCapture(xs []int) {
+	for i := range xs {
+		go func() {
+			sink(i) // want `goroutine captures loop variable i`
+		}()
+	}
+}
+
+func rangeValueCapture(xs []int) {
+	for _, v := range xs {
+		go func() {
+			sink(v) // want `goroutine captures loop variable v`
+		}()
+	}
+}
+
+func forCapture(n int) {
+	for i := 0; i < n; i++ {
+		go func() {
+			sink(i) // want `goroutine captures loop variable i`
+		}()
+	}
+}
+
+func nestedCapture(xs []int) {
+	for i := range xs {
+		for j := range xs {
+			go func() {
+				sink(i) // want `goroutine captures loop variable i`
+				sink(j) // want `goroutine captures loop variable j`
+			}()
+		}
+	}
+}
+
+// Clean: the loop variable is passed as an argument; the parameter shadows
+// it inside the literal.
+func passedAsArg(xs []int) {
+	for i := range xs {
+		go func(i int) {
+			sink(i)
+		}(i)
+	}
+}
+
+// Clean: a goroutine outside any loop captures ordinary locals.
+func noLoop(x int) {
+	go func() {
+		sink(x)
+	}()
+}
+
+// Clean: capturing a per-iteration copy, not the loop variable.
+func copied(xs []int) {
+	for i := range xs {
+		i := i
+		go func() {
+			sink(i)
+		}()
+	}
+}
+
+// Clean: a plain (non-go) literal in a loop may read the loop variable.
+func inlineLiteral(xs []int) {
+	for i := range xs {
+		func() {
+			sink(i)
+		}()
+	}
+}

@@ -1,0 +1,156 @@
+// Package loader parses and type-checks Go packages for the lint suite
+// using only the standard library: package enumeration shells out to
+// `go list -json`, syntax comes from go/parser, and types come from
+// go/types with the source-based importer (which resolves both standard
+// library and module-internal imports by type-checking them from source).
+package loader
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	PkgPath   string
+	Dir       string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// listEntry is the subset of `go list -json` output the loader consumes.
+type listEntry struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+}
+
+// Load expands the package patterns (e.g. "./...") relative to dir and
+// returns the matched packages, parsed and type-checked. Test files are not
+// loaded: the lint suite checks shipped code, and external test packages
+// would need a second type-checking universe.
+func Load(dir string, patterns []string) ([]*Package, error) {
+	args := append([]string{"list", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var out, errBuf bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errBuf
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("loader: go list %s: %v\n%s", strings.Join(patterns, " "), err, errBuf.String())
+	}
+
+	var entries []listEntry
+	dec := json.NewDecoder(&out)
+	for dec.More() {
+		var e listEntry
+		if err := dec.Decode(&e); err != nil {
+			return nil, fmt.Errorf("loader: decoding go list output: %v", err)
+		}
+		entries = append(entries, e)
+	}
+
+	// The source importer resolves module-internal import paths through
+	// go/build, which needs the process working directory to sit inside the
+	// module. Pin it for the duration of the load.
+	restore, err := pushd(dir)
+	if err != nil {
+		return nil, err
+	}
+	defer restore()
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "source", nil)
+	pkgs := make([]*Package, 0, len(entries))
+	for _, e := range entries {
+		p, err := check(fset, imp, e.ImportPath, e.Dir, e.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// LoadDir type-checks the single package rooted at dir under the given
+// import path. Used by the analysistest harness over testdata corpora.
+func LoadDir(dir, importPath string) (*Package, error) {
+	files, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("loader: %v", err)
+	}
+	var goFiles []string
+	for _, f := range files {
+		if !f.IsDir() && strings.HasSuffix(f.Name(), ".go") {
+			goFiles = append(goFiles, f.Name())
+		}
+	}
+	if len(goFiles) == 0 {
+		return nil, fmt.Errorf("loader: no Go files in %s", dir)
+	}
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "source", nil)
+	return check(fset, imp, importPath, dir, goFiles)
+}
+
+// check parses the named files of one package and type-checks them.
+func check(fset *token.FileSet, imp types.Importer, importPath, dir string, goFiles []string) (*Package, error) {
+	astFiles := make([]*ast.File, 0, len(goFiles))
+	for _, name := range goFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("loader: %v", err)
+		}
+		astFiles = append(astFiles, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(importPath, fset, astFiles, info)
+	if err != nil {
+		return nil, fmt.Errorf("loader: type-checking %s: %v", importPath, err)
+	}
+	return &Package{
+		PkgPath:   importPath,
+		Dir:       dir,
+		Fset:      fset,
+		Files:     astFiles,
+		Types:     tpkg,
+		TypesInfo: info,
+	}, nil
+}
+
+// pushd chdirs to dir and returns a function restoring the previous working
+// directory. A no-op when dir is empty.
+func pushd(dir string) (func(), error) {
+	if dir == "" {
+		return func() {}, nil
+	}
+	prev, err := os.Getwd()
+	if err != nil {
+		return nil, fmt.Errorf("loader: %v", err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		return nil, fmt.Errorf("loader: %v", err)
+	}
+	return func() { _ = os.Chdir(prev) }, nil
+}

@@ -1,0 +1,95 @@
+package analysis
+
+import (
+	"bufio"
+	"os"
+	"strings"
+)
+
+// NolintMarker is the comment that suppresses a finding on its line (or, on
+// a line of its own, the finding on the following line):
+//
+//	x := weird()          //mlstar:nolint floateq -- exact sentinel by design
+//	//mlstar:nolint determinism -- order-insensitive: counts into a map
+//	for k := range m { ... }
+//
+// Analyzer names are comma-separated; a bare marker suppresses every
+// analyzer. Everything after " -- " is a justification for human readers.
+const NolintMarker = "//mlstar:nolint"
+
+// Suppressor answers whether a diagnostic at a given file line is
+// suppressed. It lazily reads and caches file contents.
+type Suppressor struct {
+	files map[string][]string
+}
+
+// NewSuppressor returns an empty Suppressor.
+func NewSuppressor() *Suppressor {
+	return &Suppressor{files: map[string][]string{}}
+}
+
+// Suppressed reports whether a finding of the named analyzer at
+// filename:line is covered by a nolint marker on that line or the line
+// above. Unreadable files suppress nothing.
+func (s *Suppressor) Suppressed(filename string, line int, analyzer string) bool {
+	lines, ok := s.files[filename]
+	if !ok {
+		lines = readLines(filename)
+		s.files[filename] = lines
+	}
+	for _, ln := range []int{line, line - 1} {
+		if ln < 1 || ln > len(lines) {
+			continue
+		}
+		if marker, found := nolintNames(lines[ln-1]); found {
+			if ln == line-1 && !isMarkerOnlyLine(lines[ln-1]) {
+				continue // the previous line's trailing marker covers that line, not this one
+			}
+			if marker == "" {
+				return true
+			}
+			for _, name := range strings.Split(marker, ",") {
+				if strings.TrimSpace(name) == analyzer {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// nolintNames extracts the analyzer list following the marker, with the
+// optional " -- reason" suffix stripped. found is false when the line has
+// no marker at all.
+func nolintNames(line string) (names string, found bool) {
+	i := strings.Index(line, NolintMarker)
+	if i < 0 {
+		return "", false
+	}
+	rest := line[i+len(NolintMarker):]
+	if j := strings.Index(rest, "--"); j >= 0 {
+		rest = rest[:j]
+	}
+	return strings.TrimSpace(rest), true
+}
+
+// isMarkerOnlyLine reports whether the line consists solely of the nolint
+// comment (so it annotates the next line rather than its own).
+func isMarkerOnlyLine(line string) bool {
+	return strings.HasPrefix(strings.TrimSpace(line), NolintMarker)
+}
+
+func readLines(filename string) []string {
+	f, err := os.Open(filename)
+	if err != nil {
+		return nil
+	}
+	defer func() { _ = f.Close() }()
+	var lines []string
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		lines = append(lines, sc.Text())
+	}
+	return lines
+}

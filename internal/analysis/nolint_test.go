@@ -1,0 +1,79 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSuppressed(t *testing.T) {
+	src := `package p
+
+var a = 1 //mlstar:nolint floateq -- exact sentinel by design
+var b = 2 //mlstar:nolint floateq,determinism
+var c = 3 //mlstar:nolint
+//mlstar:nolint determinism -- order-insensitive: one write per key
+var d = 4
+var e = 5
+`
+	dir := t.TempDir()
+	file := filepath.Join(dir, "p.go")
+	if err := os.WriteFile(file, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := NewSuppressor()
+	cases := []struct {
+		line     int
+		analyzer string
+		want     bool
+	}{
+		{3, "floateq", true},      // trailing marker, named analyzer
+		{3, "determinism", false}, // trailing marker names a different analyzer
+		{4, "floateq", true},      // comma-separated list, first name
+		{4, "determinism", true},  // comma-separated list, second name
+		{4, "vecalias", false},    // not in the list
+		{5, "floateq", true},      // bare marker suppresses everything
+		{5, "gocapture", true},    // ditto
+		{7, "determinism", true},  // marker-only line covers the next line
+		{7, "floateq", false},     // ...for the named analyzer only
+		{8, "determinism", false}, // two lines below a marker is not covered
+		{4, "floateq", true},      // cached-file path answers consistently
+		{100, "floateq", false},   // out-of-range line
+	}
+	for _, c := range cases {
+		if got := s.Suppressed(file, c.line, c.analyzer); got != c.want {
+			t.Errorf("Suppressed(line %d, %q) = %v, want %v", c.line, c.analyzer, got, c.want)
+		}
+	}
+	// A trailing marker on line 3 must not leak onto line 4's findings.
+	if s.Suppressed(file, 4, "gocapture") {
+		t.Error("trailing marker on the previous line suppressed the next line")
+	}
+	// Unreadable files suppress nothing.
+	if s.Suppressed(filepath.Join(dir, "missing.go"), 1, "floateq") {
+		t.Error("missing file suppressed a finding")
+	}
+}
+
+func TestInScope(t *testing.T) {
+	a := &Analyzer{Name: "x", DefaultScope: []string{"mllibstar/internal/engine", "mllibstar/internal/opt"}}
+	cases := []struct {
+		pkg  string
+		want bool
+	}{
+		{"mllibstar/internal/engine", true},
+		{"mllibstar/internal/engine/sub", true}, // prefix covers subpackages
+		{"mllibstar/internal/engineer", false},  // not a path-segment match
+		{"mllibstar/internal/opt", true},
+		{"mllibstar/internal/vec", false},
+	}
+	for _, c := range cases {
+		if got := a.InScope(c.pkg); got != c.want {
+			t.Errorf("InScope(%q) = %v, want %v", c.pkg, got, c.want)
+		}
+	}
+	empty := &Analyzer{Name: "y"}
+	if !empty.InScope("anything/at/all") {
+		t.Error("empty scope must cover every package")
+	}
+}

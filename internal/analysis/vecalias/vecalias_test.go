@@ -1,0 +1,12 @@
+package vecalias_test
+
+import (
+	"testing"
+
+	"mllibstar/internal/analysis/analysistest"
+	"mllibstar/internal/analysis/vecalias"
+)
+
+func TestVecAlias(t *testing.T) {
+	analysistest.Run(t, "testdata/src/a", vecalias.Analyzer)
+}

@@ -15,9 +15,9 @@ package angel
 
 import (
 	"fmt"
-	"math/rand"
 
 	"mllibstar/internal/des"
+	"mllibstar/internal/detrand"
 	"mllibstar/internal/glm"
 	"mllibstar/internal/opt"
 	"mllibstar/internal/ps"
@@ -67,7 +67,7 @@ func Train(sim *des.Sim, net *simnet.Network, nodeNames []string, parts [][]glm.
 		batchSize := maxInt(1, int(prm.BatchFraction*float64(len(part))))
 		sim.Spawn(fmt.Sprintf("angel:worker%d", r), func(p *des.Proc) {
 			scratch := make([]float64, dim)
-			jitter := rand.New(rand.NewSource(prm.Seed + int64(r)*7907))
+			jitter := detrand.Worker(prm.Seed, r)
 			for t := 1; t <= prm.MaxSteps && !stop; t++ {
 				w := deploy.Pull(p, node.Name(), r, t-1)
 				if r == 0 {

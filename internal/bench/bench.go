@@ -77,6 +77,18 @@ func (r *Report) addFile(name, contents string) {
 	r.Files[name] = contents
 }
 
+// addFilesFrom copies every output file of sub into r, in sorted name order.
+func (r *Report) addFilesFrom(sub *Report) {
+	names := make([]string, 0, len(sub.Files))
+	for name := range sub.Files { //mlstar:nolint determinism -- order-insensitive: keys sorted before use
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		r.addFile(name, sub.Files[name])
+	}
+}
+
 // addCurveCSV registers all curves as one CSV file.
 func (r *Report) addCurveCSV(name string) {
 	var b strings.Builder
@@ -125,11 +137,15 @@ func register(e Experiment) {
 
 // All returns every registered experiment sorted by ID.
 func All() []Experiment {
-	out := make([]Experiment, 0, len(registry))
-	for _, e := range registry {
-		out = append(out, e)
+	ids := make([]string, 0, len(registry))
+	for id := range registry { //mlstar:nolint determinism -- order-insensitive: keys sorted before use
+		ids = append(ids, id)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	sort.Strings(ids)
+	out := make([]Experiment, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, registry[id])
+	}
 	return out
 }
 
@@ -138,7 +154,7 @@ func ByID(id string) (Experiment, error) {
 	e, ok := registry[id]
 	if !ok {
 		ids := make([]string, 0, len(registry))
-		for id := range registry {
+		for id := range registry { //mlstar:nolint determinism -- order-insensitive: keys sorted before use
 			ids = append(ids, id)
 		}
 		sort.Strings(ids)

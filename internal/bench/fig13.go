@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"sort"
 
 	"mllibstar/internal/clusters"
 	"mllibstar/internal/data"
@@ -131,16 +132,23 @@ func runBottleneck(cfg RunConfig) (*Report, error) {
 			return nil, err
 		}
 		bt := rec.BusyTime()
+		// Sum in fixed Kind order: map-order float accumulation would make
+		// the CSV differ in the last ulp between runs.
 		driver := 0.0
-		for _, v := range bt["driver"] {
-			driver += v
+		for k := trace.Kind(0); k < trace.KindCount; k++ {
+			driver += bt["driver"][k]
 		}
 		driverShare := driver / res.SimTime
 		util := rec.Utilization()
+		nodes := make([]string, 0, len(util))
+		for node := range util { //mlstar:nolint determinism -- order-insensitive: keys sorted before use
+			nodes = append(nodes, node)
+		}
+		sort.Strings(nodes)
 		execUtil, n := 0.0, 0
-		for node, u := range util {
+		for _, node := range nodes {
 			if node != "driver" {
-				execUtil += u
+				execUtil += util[node]
 				n++
 			}
 		}

@@ -47,9 +47,7 @@ func init() {
 					return nil, err
 				}
 				combined.Lines = append(combined.Lines, sub.Text())
-				for n, c := range sub.Files {
-					combined.addFile(n, c)
-				}
+				combined.addFilesFrom(sub)
 			}
 			return combined, nil
 		},

@@ -39,18 +39,14 @@ func init() {
 					return nil, err
 				}
 				combined.Lines = append(combined.Lines, sub.Text())
-				for n, c := range sub.Files {
-					combined.addFile(n, c)
-				}
+				combined.addFilesFrom(sub)
 			}
 			sub, err := runFig6d(cfg)
 			if err != nil {
 				return nil, err
 			}
 			combined.Lines = append(combined.Lines, sub.Text())
-			for n, c := range sub.Files {
-				combined.addFile(n, c)
-			}
+			combined.addFilesFrom(sub)
 			return combined, nil
 		},
 	})

@@ -14,6 +14,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"mllibstar/internal/detrand"
 	"mllibstar/internal/glm"
 	"mllibstar/internal/vec"
 )
@@ -98,7 +99,7 @@ func Generate(spec Spec) *Dataset {
 	if zs <= 1 {
 		zs = 1.1
 	}
-	rng := rand.New(rand.NewSource(spec.Seed))
+	rng := detrand.New(spec.Seed)
 	zipf := rand.NewZipf(rng, zs, 8, uint64(spec.Cols-1))
 
 	truth := make([]float64, spec.Cols)
@@ -215,7 +216,7 @@ func (d *Dataset) Partition(k int, seed int64) [][]glm.Example {
 	if k <= 0 {
 		panic(fmt.Sprintf("data: Partition(%d)", k))
 	}
-	perm := rand.New(rand.NewSource(seed)).Perm(len(d.Examples))
+	perm := detrand.Perm(seed, len(d.Examples))
 	shuffled := make([]glm.Example, len(d.Examples))
 	for i, j := range perm {
 		shuffled[i] = d.Examples[j]
@@ -235,7 +236,7 @@ func (d *Dataset) Subsample(n int, seed int64) *Dataset {
 	if n >= len(d.Examples) {
 		return d
 	}
-	perm := rand.New(rand.NewSource(seed)).Perm(len(d.Examples))[:n]
+	perm := detrand.Perm(seed, len(d.Examples))[:n]
 	sort.Ints(perm)
 	out := make([]glm.Example, n)
 	for i, j := range perm {

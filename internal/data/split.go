@@ -2,8 +2,8 @@ package data
 
 import (
 	"fmt"
-	"math/rand"
 
+	"mllibstar/internal/detrand"
 	"mllibstar/internal/glm"
 )
 
@@ -29,7 +29,7 @@ func (d *Dataset) Split(testFraction float64, seed int64) (train, test *Dataset,
 	if nTest == n {
 		nTest = n - 1
 	}
-	perm := rand.New(rand.NewSource(seed)).Perm(n)
+	perm := detrand.Perm(seed, n)
 	testEx := make([]glmExample, 0, nTest)
 	trainEx := make([]glmExample, 0, n-nTest)
 	for i, j := range perm {
@@ -58,7 +58,7 @@ func (d *Dataset) KFold(k int, seed int64) ([]Fold, error) {
 	if k < 2 || k > n {
 		return nil, fmt.Errorf("data: k=%d folds over %d examples", k, n)
 	}
-	perm := rand.New(rand.NewSource(seed)).Perm(n)
+	perm := detrand.Perm(seed, n)
 	shuffled := make([]glmExample, n)
 	for i, j := range perm {
 		shuffled[i] = d.Examples[j]

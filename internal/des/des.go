@@ -66,6 +66,7 @@ type eventHeap []event
 
 func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) Less(i, j int) bool {
+	//mlstar:nolint floateq -- exact compare intentional: equal timestamps fall through to the seq tie-break
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}

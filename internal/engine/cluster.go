@@ -157,10 +157,14 @@ func (ex *Executor) Recv(p *des.Proc, tag string) *simnet.Message {
 // DropCache removes all cached partitions of the given RDD from this
 // executor, forcing lineage recomputation on next access (fault injection).
 func (ex *Executor) DropCache(rddID int) {
-	for id := range ex.blocks {
+	victims := make([]blockID, 0)
+	for id := range ex.blocks { //mlstar:nolint determinism -- order-insensitive: collecting a delete set
 		if id.rdd == rddID {
-			delete(ex.blocks, id)
+			victims = append(victims, id)
 		}
+	}
+	for _, id := range victims {
+		delete(ex.blocks, id)
 	}
 }
 

@@ -2,9 +2,9 @@ package engine
 
 import (
 	"fmt"
-	"math/rand"
 
 	"mllibstar/internal/des"
+	"mllibstar/internal/detrand"
 )
 
 // RDD is a resilient distributed dataset: a partitioned collection defined
@@ -150,7 +150,7 @@ func Sample[T any](r *RDD[T], name string, fraction float64, seed int64) *RDD[T]
 		parts: r.parts,
 		compute: func(p *des.Proc, ex *Executor, part int) []T {
 			in := r.materialize(p, ex, part)
-			rng := rand.New(rand.NewSource(seed + int64(part)*2654435761))
+			rng := detrand.Partition(seed, part)
 			out := make([]T, 0, int(fraction*float64(len(in)))+1)
 			for _, v := range in {
 				if rng.Float64() < fraction {

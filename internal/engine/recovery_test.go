@@ -1,0 +1,161 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"mllibstar/internal/des"
+)
+
+// recoveryExample is one (x, y) training point for the miniature least-
+// squares job used by the recovery tests.
+type recoveryExample struct{ x, y float64 }
+
+// recoveryParts builds k deterministic partitions of perPart points around
+// the line y = 3x + 1 with a small fixed residual pattern.
+func recoveryParts(k, perPart int) [][]recoveryExample {
+	parts := make([][]recoveryExample, k)
+	i := 0
+	for p := range parts {
+		for j := 0; j < perPart; j++ {
+			x := 0.1 * float64(i)
+			res := 0.01 * float64(i%7-3)
+			parts[p] = append(parts[p], recoveryExample{x: x, y: 3*x + 1 + res})
+			i++
+		}
+	}
+	return parts
+}
+
+// trainLSQ runs steps of full-batch gradient descent for least squares over
+// the RDD, calling hook (if non-nil) after each step — the seam where the
+// failure tests kill and revive executors mid-run. Gradients are summed in
+// partition order, so the arithmetic sequence is identical no matter which
+// executor materialized each partition.
+func trainLSQ(p *des.Proc, data *RDD[recoveryExample], steps int, hook func(t int)) [2]float64 {
+	var w [2]float64
+	for t := 1; t <= steps; t++ {
+		grads := Collect(p, MapPartitions(data, fmt.Sprintf("grad%d", t), func(in []recoveryExample) ([]float64, float64) {
+			g := make([]float64, 3)
+			for _, e := range in {
+				r := w[0]*e.x + w[1] - e.y
+				g[0] += r * e.x
+				g[1] += r
+			}
+			g[2] = float64(len(in))
+			return g, float64(len(in))
+		}), 8)
+		var g0, g1, n float64
+		for _, part := range grads {
+			g0 += part[0]
+			g1 += part[1]
+			n += part[2]
+		}
+		eta := 0.1 / n
+		w[0] -= eta * g0
+		w[1] -= eta * g1
+		if hook != nil {
+			hook(t)
+		}
+	}
+	return w
+}
+
+// TestRecoveredModelBitwiseEqual is the checkpoint/failure interaction test:
+// a run that checkpoints its dataset, loses an executor mid-training, and
+// later gets it back must produce a model bit-for-bit identical to an
+// undisturbed run — the engine's determinism contract (see README.md) says
+// fault recovery may change timing but never arithmetic.
+func TestRecoveredModelBitwiseEqual(t *testing.T) {
+	const (
+		execs   = 4
+		perPart = 8
+		steps   = 8
+	)
+	run := func(hook func(cl *Cluster, t int)) ([2]float64, int, *countingSink) {
+		sim, cl, ctx := testCluster(execs, DefaultConfig())
+		sink := &countingSink{}
+		computes := 0
+		var w [2]float64
+		runOnDriver(sim, func(p *des.Proc) {
+			base := Parallelize(ctx, "pts", recoveryParts(execs, perPart))
+			scaled := Map(base, "scale", 1, func(e recoveryExample) recoveryExample {
+				computes++
+				return recoveryExample{x: e.x, y: e.y * 0.5}
+			})
+			cp := CheckpointTo(p, scaled, "cp", 16, sink)
+			var h func(int)
+			if hook != nil {
+				h = func(t int) { hook(cl, t) }
+			}
+			w = trainLSQ(p, cp, steps, h)
+		})
+		return w, computes, sink
+	}
+
+	wantW, wantComputes, _ := run(nil)
+
+	gotW, gotComputes, sink := run(func(cl *Cluster, step int) {
+		switch step {
+		case 3:
+			cl.FailExecutor("exec1")
+		case 6:
+			cl.ReviveExecutor("exec1")
+		}
+	})
+
+	for i := range wantW {
+		if math.Float64bits(gotW[i]) != math.Float64bits(wantW[i]) {
+			t.Errorf("w[%d] = %x after recovery, want %x (values %v vs %v)",
+				i, math.Float64bits(gotW[i]), math.Float64bits(wantW[i]), gotW[i], wantW[i])
+		}
+	}
+	// The checkpoint truncated the lineage, so losing exec1's blocks must
+	// recover from the sink, never by re-running the map.
+	if gotComputes != wantComputes {
+		t.Errorf("map ran %d times in the failure run, want %d (lineage recomputed past the checkpoint)", gotComputes, wantComputes)
+	}
+	if sink.reads == 0 {
+		t.Error("no checkpoint reads charged in the failure run")
+	}
+}
+
+// TestLineageRecoveryBitwiseEqual covers the same invariant without a
+// checkpoint: recomputing lost partitions through the lineage (on whatever
+// executor the reroute picks) must also reproduce the model exactly.
+func TestLineageRecoveryBitwiseEqual(t *testing.T) {
+	const (
+		execs   = 3
+		perPart = 6
+		steps   = 6
+	)
+	run := func(hook func(cl *Cluster, t int)) [2]float64 {
+		sim, cl, ctx := testCluster(execs, DefaultConfig())
+		var w [2]float64
+		runOnDriver(sim, func(p *des.Proc) {
+			base := Parallelize(ctx, "pts", recoveryParts(execs, perPart))
+			scaled := Map(base, "scale", 1, func(e recoveryExample) recoveryExample {
+				return recoveryExample{x: e.x, y: e.y * 0.5}
+			}).Cache()
+			var h func(int)
+			if hook != nil {
+				h = func(t int) { hook(cl, t) }
+			}
+			w = trainLSQ(p, scaled, steps, h)
+		})
+		return w
+	}
+
+	want := run(nil)
+	got := run(func(cl *Cluster, step int) {
+		if step == 2 {
+			cl.FailExecutor("exec0")
+		}
+	})
+	for i := range want {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Errorf("w[%d] = %v after lineage recovery, want %v", i, got[i], want[i])
+		}
+	}
+}

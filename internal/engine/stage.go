@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"mllibstar/internal/des"
+	"mllibstar/internal/detrand"
 	"mllibstar/internal/trace"
 )
 
@@ -23,7 +24,7 @@ type Context struct {
 // NewContext returns a Context over the cluster with the given engine
 // configuration.
 func NewContext(c *Cluster, cfg Config) *Context {
-	return &Context{Cluster: c, Cfg: cfg, rng: rand.New(rand.NewSource(cfg.StragglerSeed))}
+	return &Context{Cluster: c, Cfg: cfg, rng: detrand.New(cfg.StragglerSeed)}
 }
 
 // Task is one unit of work in a stage, bound to a specific executor. Run

@@ -299,6 +299,7 @@ func AUC(w []float64, data []Example) float64 {
 	i := 0
 	for i < len(scores) {
 		j := i
+		//mlstar:nolint floateq -- exact compare intentional: tie groups are runs of identical sorted margins
 		for j < len(scores) && scores[j].margin == scores[i].margin {
 			j++
 		}

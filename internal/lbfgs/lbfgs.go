@@ -94,7 +94,7 @@ func (st *State) Direction(g []float64) []float64 {
 	// Initial Hessian scaling gamma = (s·y)/(y·y) from the newest pair.
 	if n := len(st.pairs); n > 0 {
 		p := st.pairs[n-1]
-		gamma := dot(p.s, p.y) / dot(p.y, p.y)
+		gamma := dot(p.s, p.y) / vec.Norm2Sq(p.y)
 		vec.Scale(q, gamma)
 	}
 	for i := 0; i < len(st.pairs); i++ {

@@ -114,9 +114,11 @@ func RenderSVG(curves []*Curve, opts SVGOptions) string {
 			marginL, h/2, svgInkSoft)
 		return b.String()
 	}
+	//mlstar:nolint floateq -- exact compare intentional: guards the fully degenerate range before dividing
 	if maxX == minX {
 		maxX = minX + 1
 	}
+	//mlstar:nolint floateq -- exact compare intentional: guards the fully degenerate range before dividing
 	if maxY == minY {
 		maxY = minY + 1
 	}

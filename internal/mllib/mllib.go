@@ -17,6 +17,7 @@ import (
 	"math/rand"
 
 	"mllibstar/internal/des"
+	"mllibstar/internal/detrand"
 	"mllibstar/internal/engine"
 	"mllibstar/internal/glm"
 	"mllibstar/internal/trace"
@@ -82,7 +83,7 @@ func Train(ctx *engine.Context, parts [][]glm.Example, dim int, prm train.Params
 			sum := ctx.TreeAggregateVec(p, fmt.Sprintf("mgd%d", t), dim+1, aggs, payload,
 				func(p *des.Proc, ex *engine.Executor, i int) []float64 {
 					local := parts[i]
-					rng := rand.New(rand.NewSource(prm.Seed + int64(t)*1_000_003 + int64(i)))
+					rng := detrand.Step(prm.Seed, t, i)
 					batch := sampleFraction(rng, local, prm.BatchFraction)
 					g := make([]float64, dim+1)
 					work := prm.Objective.AddGradient(stepW, batch, g[:dim])

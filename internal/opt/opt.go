@@ -14,6 +14,7 @@ import (
 	"math"
 	"math/rand"
 
+	"mllibstar/internal/detrand"
 	"mllibstar/internal/glm"
 	"mllibstar/internal/vec"
 )
@@ -241,7 +242,7 @@ func RunSeqMGD(cfg SeqConfig, data []glm.Example, dim int) ([]float64, []SeqPoin
 	if evalEvery <= 0 {
 		evalEvery = 10
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng := detrand.New(cfg.Seed)
 	w := make([]float64, dim)
 	scratch := make([]float64, dim)
 	var batchBuf []glm.Example

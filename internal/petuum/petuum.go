@@ -18,9 +18,9 @@ package petuum
 
 import (
 	"fmt"
-	"math/rand"
 
 	"mllibstar/internal/des"
+	"mllibstar/internal/detrand"
 	"mllibstar/internal/glm"
 	"mllibstar/internal/opt"
 	"mllibstar/internal/ps"
@@ -80,7 +80,7 @@ func Train(sim *des.Sim, net *simnet.Network, nodeNames []string, parts [][]glm.
 		sim.Spawn(fmt.Sprintf("petuum:worker%d", r), func(p *des.Proc) {
 			cursor := 0
 			scratch := make([]float64, dim)
-			jitter := rand.New(rand.NewSource(prm.Seed + int64(r)*7907))
+			jitter := detrand.Worker(prm.Seed, r)
 			for t := 1; t <= prm.MaxSteps && !stop; t++ {
 				w := deploy.Pull(p, node.Name(), r, t-1)
 				if r == 0 {

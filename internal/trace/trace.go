@@ -24,6 +24,8 @@ const (
 	Update                // applying an update to the (global) model
 	Barrier               // waiting at a BSP barrier
 	Stage                 // stage bookkeeping on the driver (scheduling)
+
+	KindCount // number of kinds; keep last
 )
 
 var kindNames = [...]string{"compute", "send", "recv", "aggregate", "update", "barrier", "stage"}
@@ -139,11 +141,18 @@ func (r *Recorder) BusyTime() map[string]map[Kind]float64 {
 		kind Kind
 	}
 	grouped := map[key][]Span{}
+	keys := make([]key, 0)
 	for _, s := range r.spans {
 		k := key{s.Node, s.Kind}
+		if _, ok := grouped[k]; !ok {
+			keys = append(keys, k)
+		}
 		grouped[k] = append(grouped[k], s)
 	}
-	for k, spans := range grouped {
+	// Iterate in first-seen order, not map order, so every accumulation
+	// below happens in the same sequence on every run.
+	for _, k := range keys {
+		spans := grouped[k]
 		sort.Slice(spans, func(i, j int) bool { return spans[i].Start < spans[j].Start })
 		total, curStart, curEnd := 0.0, spans[0].Start, spans[0].End
 		for _, s := range spans[1:] {
@@ -171,11 +180,14 @@ func (r *Recorder) Utilization() map[string]float64 {
 	if h == 0 {
 		return out
 	}
-	for node, kinds := range r.BusyTime() {
+	for node, kinds := range r.BusyTime() { //mlstar:nolint determinism -- order-insensitive: one write per node, sums ordered below
 		busy := 0.0
-		for k, t := range kinds {
+		// Sum in fixed Kind order: float addition is not associative, so
+		// map order here would make utilization differ in the last ulp
+		// between runs.
+		for k := Kind(0); k < KindCount; k++ {
 			if k != Barrier {
-				busy += t
+				busy += kinds[k]
 			}
 		}
 		out[node] = busy / h

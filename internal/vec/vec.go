@@ -161,6 +161,26 @@ func Norm2Sq(w []float64) float64 {
 	return sum
 }
 
+// EqTol reports whether a and b are equal to within tol: either absolutely
+// or relative to the larger magnitude, whichever bound is looser. It is the
+// comparison convergence checks must use instead of ==/!= on floats (the
+// floateq analyzer flags those): after reordered summation two
+// mathematically equal values routinely differ in the last few ulps.
+func EqTol(a, b, tol float64) bool {
+	if a == b { //mlstar:nolint floateq -- exact compare intentional: fast path, also handles equal infinities
+		return true
+	}
+	diff := math.Abs(a - b)
+	if diff <= tol {
+		return true
+	}
+	if math.IsInf(diff, 0) || math.IsNaN(diff) {
+		return false // opposite infinities or NaN: tol*Inf below would accept them
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= tol*scale
+}
+
 // Norm1 returns the L1 norm of dense w.
 func Norm1(w []float64) float64 {
 	sum := 0.0

@@ -283,3 +283,25 @@ func BenchmarkDotSparse(b *testing.B) {
 		_ = Dot(w, x)
 	}
 }
+
+func TestEqTol(t *testing.T) {
+	cases := []struct {
+		a, b, tol float64
+		want      bool
+	}{
+		{1, 1, 0, true},                          // exact equality, zero tolerance
+		{0, 1e-12, 1e-9, true},                   // absolute bound near zero
+		{0, 1e-6, 1e-9, false},                   // outside absolute bound
+		{1e9, 1e9 * (1 + 1e-12), 1e-9, true},     // relative bound for large magnitudes
+		{1e9, 1e9 * (1 + 1e-6), 1e-9, false},     // outside relative bound
+		{math.Inf(1), math.Inf(1), 1e-9, true},   // equal infinities
+		{math.Inf(1), math.Inf(-1), 1e-9, false}, // opposite infinities
+		{math.NaN(), math.NaN(), 1e-9, false},    // NaN never equals
+		{0.1 + 0.2, 0.3, 1e-12, true},            // classic rounding case
+	}
+	for _, c := range cases {
+		if got := EqTol(c.a, c.b, c.tol); got != c.want {
+			t.Errorf("EqTol(%g, %g, %g) = %v, want %v", c.a, c.b, c.tol, got, c.want)
+		}
+	}
+}
