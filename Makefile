@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint fuzz check clean
+.PHONY: build test race lint fuzz bench bench-smoke check clean
 
 build: ## compile everything
 	$(GO) build ./...
@@ -19,6 +19,14 @@ lint: ## go vet + the repo's own analyzers (internal/analysis)
 
 fuzz: ## short fuzz run of the libsvm reader
 	$(GO) test -fuzz=FuzzReadLibSVM -fuzztime=10s ./internal/data
+
+bench: ## wall-clock benchmarks (offload on/off + kernels) -> BENCH_2.json
+	$(GO) test -bench 'BenchmarkWallClock' -run '^$$' -benchmem ./internal/bench \
+		| tee /dev/stderr | $(GO) run ./cmd/mlstar-benchjson -out BENCH_2.json
+
+bench-smoke: ## one-iteration benchmark pass + offload bit-identity tests
+	$(GO) test -bench 'BenchmarkWallClock' -benchtime=1x -run '^$$' -benchmem ./internal/bench
+	$(GO) test -run 'TestParallelOffload|TestKernelAllocReduction' -v ./internal/bench
 
 check: build lint race fuzz ## everything CI runs
 

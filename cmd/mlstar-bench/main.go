@@ -6,6 +6,7 @@
 //	mlstar-bench -list
 //	mlstar-bench -exp fig4h
 //	mlstar-bench -exp all -scale 2000 -out results/
+//	mlstar-bench -exp fig4h -cpuprofile cpu.pprof -par=off
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"time"
 
 	"mllibstar/internal/bench"
+	"mllibstar/internal/prof"
 )
 
 func main() {
@@ -26,8 +28,15 @@ func main() {
 		grid    = flag.Bool("grid", false, "grid-search the learning rate instead of tuned defaults")
 		out     = flag.String("out", "", "directory to write CSV outputs into (optional)")
 		evalCap = flag.Int("evalcap", 0, "evaluation subsample cap (0 = default)")
+		profCfg = prof.Register(flag.CommandLine)
 	)
 	flag.Parse()
+	stopProf, err := profCfg.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	if *list || *exp == "" {
 		fmt.Println("available experiments:")

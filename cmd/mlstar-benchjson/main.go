@@ -1,0 +1,113 @@
+// Command mlstar-benchjson converts `go test -bench` output (read from
+// stdin) into a machine-readable JSON artifact. For every benchmark with
+// par=off / par=on sub-runs it also reports the wall-clock speedup of the
+// offloaded engine over the sequential one.
+//
+// Usage:
+//
+//	go test -bench 'BenchmarkWallClock' -benchmem ./internal/bench | mlstar-benchjson -out BENCH_2.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// benchResult is one parsed benchmark line.
+type benchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+// artifact is the emitted JSON document.
+type artifact struct {
+	Benchmarks []benchResult `json:"benchmarks"`
+	// SpeedupParVsSeq maps a benchmark's base name to ns/op(par=off) /
+	// ns/op(par=on): >1 means the offload pool made it faster. On a
+	// single-CPU host the pool falls back to inline execution and the ratio
+	// is ~1 by construction.
+	SpeedupParVsSeq map[string]float64 `json:"speedup_par_vs_seq,omitempty"`
+}
+
+// benchLine matches one result row of `go test -bench` output.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+([\d.]+) allocs/op)?`)
+
+// cpuSuffix strips the trailing -<GOMAXPROCS> go appends to benchmark names.
+var cpuSuffix = regexp.MustCompile(`-\d+$`)
+
+func main() {
+	out := flag.String("out", "BENCH_2.json", "output JSON path")
+	flag.Parse()
+
+	art, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mlstar-benchjson:", err)
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mlstar-benchjson:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "mlstar-benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "mlstar-benchjson: wrote %s (%d benchmarks)\n", *out, len(art.Benchmarks))
+}
+
+func parse(sc *bufio.Scanner) (*artifact, error) {
+	art := &artifact{}
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		name := cpuSuffix.ReplaceAllString(strings.TrimPrefix(m[1], "Benchmark"), "")
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		ns, _ := strconv.ParseFloat(m[3], 64)
+		r := benchResult{Name: name, Iterations: iters, NsPerOp: ns}
+		if m[4] != "" {
+			r.BytesPerOp, _ = strconv.ParseFloat(m[4], 64)
+		}
+		if m[5] != "" {
+			r.AllocsPerOp, _ = strconv.ParseFloat(m[5], 64)
+		}
+		art.Benchmarks = append(art.Benchmarks, r)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(art.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark lines on stdin")
+	}
+	off := map[string]float64{}
+	on := map[string]float64{}
+	for _, r := range art.Benchmarks {
+		if base, ok := strings.CutSuffix(r.Name, "/par=off"); ok {
+			off[base] = r.NsPerOp
+		}
+		if base, ok := strings.CutSuffix(r.Name, "/par=on"); ok {
+			on[base] = r.NsPerOp
+		}
+	}
+	for base, seq := range off { //mlstar:nolint determinism -- order-insensitive: filling a map from a map
+		if par := on[base]; par > 0 {
+			if art.SpeedupParVsSeq == nil {
+				art.SpeedupParVsSeq = map[string]float64{}
+			}
+			art.SpeedupParVsSeq[base] = seq / par
+		}
+	}
+	return art, nil
+}

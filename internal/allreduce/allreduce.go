@@ -19,6 +19,7 @@ import (
 
 	"mllibstar/internal/des"
 	"mllibstar/internal/engine"
+	"mllibstar/internal/par"
 	"mllibstar/internal/trace"
 	"mllibstar/internal/vec"
 )
@@ -71,13 +72,25 @@ func reduceScatterGather(p *des.Proc, ex *engine.Executor, execs []string, self 
 	}
 	lo, hi := vec.PartitionRange(dim, k, self)
 	own := append([]float64(nil), local[lo:hi]...)
-	for _, b := range engine.Exchange(p, ex, execs, self, "rs:"+name, outgoing) {
+	// Exchange returns all k−1 foreign copies at once, so the whole fold
+	// (plus the averaging scale) is one pure closure: own is this shard's
+	// private buffer and the received chunks were copied by their senders.
+	// The per-block charges are kept as separate virtual-time events — the
+	// exact charge sequence of the sequential engine — while the arithmetic
+	// overlaps them on the offload pool.
+	blocks := engine.Exchange(p, ex, execs, self, "rs:"+name, outgoing)
+	h := par.Do(func() {
+		for _, b := range blocks {
+			vec.AddScaled(own, b.Payload.([]float64), 1)
+		}
+		if average {
+			vec.Scale(own, 1/float64(k))
+		}
+	})
+	for range blocks {
 		ex.ChargeKind(p, float64(hi-lo), trace.Aggregate, name)
-		vec.AddScaled(own, b.Payload.([]float64), 1)
 	}
-	if average {
-		vec.Scale(own, 1/float64(k))
-	}
+	h.Join()
 
 	// Phase 2 — AllGather: a second shuffle round broadcasting the combined
 	// partition to everyone.
@@ -91,10 +104,21 @@ func reduceScatterGather(p *des.Proc, ex *engine.Executor, execs []string, self 
 		})
 	}
 	copy(local[lo:hi], own)
-	for _, b := range engine.Exchange(p, ex, execs, self, "ag:"+name, outgoing) {
+	// Same pattern for the gather: all received pieces land in disjoint
+	// ranges of local, so one closure installs them while the per-piece
+	// charges replay the sequential event sequence.
+	gathered := engine.Exchange(p, ex, execs, self, "ag:"+name, outgoing)
+	h = par.Do(func() {
+		for _, b := range gathered {
+			pc := b.Payload.(piece)
+			plo, phi := vec.PartitionRange(dim, k, pc.from)
+			copy(local[plo:phi], pc.vals)
+		}
+	})
+	for _, b := range gathered {
 		pc := b.Payload.(piece)
 		plo, phi := vec.PartitionRange(dim, k, pc.from)
 		ex.ChargeKind(p, float64(phi-plo), trace.Update, name)
-		copy(local[plo:phi], pc.vals)
 	}
+	h.Join()
 }

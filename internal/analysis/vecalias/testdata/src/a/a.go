@@ -69,3 +69,55 @@ func distinctSides(w, v []float64) {
 func returnsInts(p []int) []int {
 	return p
 }
+
+// ---- pooled-buffer ownership (vec.Pool / engine.Context contract) ----
+
+type pool struct{}
+
+func (pool) Get(n int) []float64 { return make([]float64, n) }
+func (pool) Put(b []float64)     {}
+func (pool) PutVec(b []float64)  {}
+
+func useAfterPut(pl pool) float64 {
+	b := pl.Get(4)
+	pl.Put(b)
+	return b[0] // want `use of pooled buffer b after Put`
+}
+
+func doublePut(pl pool) {
+	b := pl.Get(4)
+	pl.Put(b)
+	pl.Put(b) // want `double Put of pooled buffer b`
+}
+
+func useAfterPutVec(pl pool) {
+	b := pl.Get(4)
+	pl.PutVec(b)
+	_ = b[1] // want `use of pooled buffer b after Put`
+}
+
+// Clean: rebinding makes the identifier a live value again.
+func putThenRebind(pl pool) float64 {
+	b := pl.Get(4)
+	pl.Put(b)
+	b = pl.Get(8)
+	return b[0]
+}
+
+// Clean: a conditional Put inside a nested block does not retire the buffer
+// for the rest of the outer block.
+func conditionalPut(pl pool, cond bool) float64 {
+	b := pl.Get(4)
+	if cond {
+		pl.Put(b)
+		b = pl.Get(4)
+	}
+	return b[0]
+}
+
+// Clean: Put as the final use.
+func putLast(pl pool) {
+	b := pl.Get(4)
+	b[0] = 1
+	pl.Put(b)
+}

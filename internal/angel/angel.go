@@ -22,6 +22,7 @@ import (
 	"mllibstar/internal/opt"
 	"mllibstar/internal/ps"
 	"mllibstar/internal/simnet"
+	"mllibstar/internal/trace"
 	"mllibstar/internal/train"
 	"mllibstar/internal/vec"
 )
@@ -58,6 +59,7 @@ func Train(sim *des.Sim, net *simnet.Network, nodeNames []string, parts [][]glm.
 	ev := train.NewEvaluator(System, dataset, prm.Objective, evalData, prm.EvalEvery)
 	res := &train.Result{System: System, Curve: ev.Curve}
 	sched := prm.Schedule()
+	_, regIsNone := prm.Objective.Reg.(glm.None)
 	stop := false
 
 	for r := 0; r < k; r++ {
@@ -84,21 +86,39 @@ func Train(sim *des.Sim, net *simnet.Network, nodeNames []string, parts [][]glm.
 						break
 					}
 				}
-				// One epoch of mini-batch GD over the local partition.
-				local := vec.Copy(w)
+				// One epoch of mini-batch GD over the local partition. The
+				// epoch's work is structural — every batch costs its
+				// nonzeros plus a dense regularization sweep — so the charge
+				// is known upfront and the arithmetic overlaps it on the
+				// offload pool.
 				eta := sched(t - 1)
-				work, batches := opt.LocalMGDEpoch(prm.Objective, local, part, batchSize, opt.Const(eta), 0, scratch)
-				// Per-batch gradient-vector allocation and collection.
+				batches := 0
+				if len(part) > 0 {
+					batches = (len(part) + batchSize - 1) / batchSize
+				}
+				work := float64(glm.NNZTotal(part))
+				if !regIsNone {
+					work += float64(batches * dim)
+				}
+				// Per-batch gradient-vector allocation and collection. This
+				// charge models Angel's real per-batch allocate/GC churn and
+				// is deliberately NOT removed by the buffer-pool work in this
+				// repository: the inefficiency is the phenomenon under study
+				// (the simulation itself reuses scratch; only the virtual
+				// cost stays).
 				allocWork := float64(batches) * AllocWorkPerDim * float64(dim)
-				effort := float64(work) + allocWork
+				effort := work + allocWork
 				if prm.ComputeJitter > 0 {
 					effort *= 1 + prm.ComputeJitter*jitter.Float64()
 				}
-				node.Compute(p, effort)
+				var delta []float64
+				node.ComputeAsyncKind(p, effort, trace.Compute, "", func() {
+					local := vec.Copy(w)
+					opt.LocalMGDEpoch(prm.Objective, local, part, batchSize, opt.Const(eta), 0, scratch)
+					vec.AddScaled(local, w, -1)
+					delta = local
+				})
 				res.Updates += int64(batches)
-
-				delta := local
-				vec.AddScaled(delta, w, -1)
 				deploy.Push(p, node.Name(), r, t, delta)
 			}
 			if r == 0 && !stop {

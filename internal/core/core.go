@@ -63,6 +63,12 @@ func Train(ctx *engine.Context, parts [][]glm.Example, dim int, prm train.Params
 			adagrads[i] = opt.NewAdaGrad(dim, prm.Eta)
 		}
 	}
+	// Per-executor optimizer scratch, reused across steps. Each slot is only
+	// touched by executor i's pure closure, one stage at a time.
+	scratch := make([]*opt.PassScratch, k)
+	for i := range scratch {
+		scratch[i] = opt.NewPassScratch()
+	}
 
 	sim.Spawn("driver:mllibstar", func(p *des.Proc) {
 		ev.Record(0, p.Now(), locals[0])
@@ -72,14 +78,15 @@ func Train(ctx *engine.Context, parts [][]glm.Example, dim int, prm train.Params
 				i := i
 				tasks[i] = engine.Task{
 					Exec: ctx.Cluster.Execs[i],
-					Run: func(p *des.Proc, ex *engine.Executor) (any, float64) {
-						// UpdateModel: per-example SGD over the local
-						// partition (lazy L2 when regularized). The
-						// learning rate is constant within a step and
-						// decays (if configured) across steps. With
-						// Splash-style reweighting the local step size is
-						// scaled by k, as if the partition were the whole
-						// dataset, before averaging.
+					// UpdateModel: per-example SGD over the local partition
+					// (lazy L2 when regularized), offloaded as the task's
+					// pure closure — it touches only locals[i] and executor
+					// i's private optimizer state. The learning rate is
+					// constant within a step and decays (if configured)
+					// across steps. With Splash-style reweighting the local
+					// step size is scaled by k, as if the partition were the
+					// whole dataset, before averaging.
+					Pure: func() float64 {
 						local := locals[i]
 						work := 0
 						if prm.AdaGrad {
@@ -93,18 +100,22 @@ func Train(ctx *engine.Context, parts [][]glm.Example, dim int, prm train.Params
 							}
 							etaT := opt.Const(eta)
 							for pass := 0; pass < prm.LocalPasses; pass++ {
-								work += opt.LocalPass(prm.Objective, local, parts[i], etaT, 0)
+								work += opt.LocalPassWith(prm.Objective, local, parts[i], etaT, 0, scratch[i])
 							}
 						}
-						ex.Charge(p, float64(work))
-						res.Updates += int64(prm.LocalPasses * len(parts[i]))
+						return float64(work)
+					},
+					Run: func(p *des.Proc, ex *engine.Executor) (any, float64) {
 						// Reduce-Scatter + AllGather: distributed averaging.
-						allreduce.Average(p, ex, ctx.Cluster.Execs, i, fmt.Sprintf("s%d", t), local)
+						allreduce.Average(p, ex, ctx.Cluster.Execs, i, fmt.Sprintf("s%d", t), locals[i])
 						return nil, 0
 					},
 				}
 			}
 			ctx.RunStage(p, fmt.Sprintf("mllibstar-%d", t), tasks)
+			for i := range parts {
+				res.Updates += int64(prm.LocalPasses * len(parts[i]))
+			}
 
 			res.CommSteps = t
 			// After AllReduce all locals hold the identical averaged model.

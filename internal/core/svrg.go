@@ -58,6 +58,10 @@ func TrainSVRG(ctx *engine.Context, parts [][]glm.Example, dim int, prm train.Pa
 		states[i] = opt.NewSVRG(dim, prm.Eta)
 	}
 
+	// partials[i] is written by task i's pure closure and consumed by its Run
+	// after the engine's join — the join orders the two.
+	partials := make([][]float64, k)
+
 	sim.Spawn("driver:mllibstar-svrg", func(p *des.Proc) {
 		ev.Record(0, p.Now(), locals[0])
 		for t := 1; t <= prm.MaxSteps; t++ {
@@ -66,21 +70,32 @@ func TrainSVRG(ctx *engine.Context, parts [][]glm.Example, dim int, prm train.Pa
 				i := i
 				tasks[i] = engine.Task{
 					Exec: ctx.Cluster.Execs[i],
+					// (1) Snapshot: partial loss gradient at the current
+					// (synchronized) model, offloaded as the pure closure.
+					Pure: func() float64 {
+						partial := ctx.GetVec(dim)
+						partials[i] = partial
+						work := prm.Objective.AddGradient(locals[i], parts[i], partial)
+						return float64(work)
+					},
 					Run: func(p *des.Proc, ex *engine.Executor) (any, float64) {
 						local := locals[i]
-						// (1) Snapshot: partial loss gradient at the current
-						// (synchronized) model, averaged across executors.
-						partial := make([]float64, dim)
-						work := prm.Objective.AddGradient(local, parts[i], partial)
-						ex.Charge(p, float64(work))
+						partial := partials[i]
 						allreduce.Average(p, ex, ctx.Cluster.Execs, i, fmt.Sprintf("svrg-mu%d", t), partial)
-						vec.Scale(partial, float64(k)/float64(total)) // mean over all examples
-						states[i].SetSnapshot(local, partial)
 
-						// (2) Inner epoch of corrected steps.
-						work = states[i].Pass(prm.Objective, local, parts[i])
-						ex.Charge(p, float64(work))
-						res.Updates += int64(len(parts[i]))
+						// (2) Inner epoch of corrected steps. Its work is
+						// structural — every Step costs 2·nnz for the two
+						// margins plus a dense μ/regularization sweep — so
+						// the charge is known upfront and the arithmetic
+						// overlaps it on the offload pool. SetSnapshot
+						// copies, so the pooled partial dies here.
+						inner := 2*glm.NNZTotal(parts[i]) + len(parts[i])*dim
+						ex.ChargeAsync(p, float64(inner), func() {
+							vec.Scale(partial, float64(k)/float64(total)) // mean over all examples
+							states[i].SetSnapshot(local, partial)
+							states[i].Pass(prm.Objective, local, parts[i])
+						})
+						ctx.PutVec(partial)
 
 						// (3) Model averaging.
 						allreduce.Average(p, ex, ctx.Cluster.Execs, i, fmt.Sprintf("svrg-w%d", t), local)
@@ -89,6 +104,9 @@ func TrainSVRG(ctx *engine.Context, parts [][]glm.Example, dim int, prm train.Pa
 				}
 			}
 			ctx.RunStage(p, fmt.Sprintf("svrg-%d", t), tasks)
+			for i := range parts {
+				res.Updates += int64(len(parts[i]))
+			}
 
 			res.CommSteps = t
 			if obj, recorded := ev.Record(t, p.Now(), locals[0]); recorded {

@@ -19,15 +19,19 @@ const FloatBytes = 8
 // roughly sqrt(k) aggregators.
 //
 // payloadBytes extra bytes are shipped with each task descriptor; MLlib uses
-// this to broadcast the current model to every executor. compute performs
-// and charges its own work and receives the task index (use it — not the
-// executor's name — to select the data partition, so speculative copies and
-// failure rerouting compute the right partition on any host). The returned
-// vector is the element-wise sum of all partials. name must be unique per
-// call (it namespaces the shuffle tag); the per-iteration step counter is
-// the natural choice.
+// this to broadcast the current model to every executor. compute must be a
+// pure closure in the offload sense (see Task.Pure): it receives the task
+// index (use it — not an executor name — to select the data partition, so
+// speculative copies and failure rerouting compute the right partition on
+// any host) and returns its partial plus the virtual-time work to charge;
+// the engine performs the charge. Partials may come from the context's
+// buffer pool (GetVec) — the engine recycles every partial it consumes, and
+// ownership of the returned sum transfers to the caller, who may PutVec it
+// when the values are dead. The returned vector is the element-wise sum of
+// all partials. name must be unique per call (it namespaces the shuffle
+// tag); the per-iteration step counter is the natural choice.
 func (ctx *Context) TreeAggregateVec(p *des.Proc, name string, dim, aggregators int,
-	payloadBytes float64, compute func(p *des.Proc, ex *Executor, task int) []float64) []float64 {
+	payloadBytes float64, compute func(task int) (partial []float64, work float64)) []float64 {
 
 	k := ctx.NumExecutors()
 	if aggregators <= 0 || aggregators > k {
@@ -43,6 +47,10 @@ func (ctx *Context) TreeAggregateVec(p *des.Proc, name string, dim, aggregators 
 		groupSize[i%aggregators]++
 	}
 
+	// partials[i] is written by task i's pure closure and read by its Run
+	// after the engine joins the closure — the join's happens-before edge
+	// orders the two.
+	partials := make([][]float64, k)
 	tasks := make([]Task, k)
 	for i := 0; i < k; i++ {
 		i := i
@@ -55,22 +63,32 @@ func (ctx *Context) TreeAggregateVec(p *des.Proc, name string, dim, aggregators 
 			// With flat aggregation every task is a pure compute-and-reply
 			// (no peer messaging), so speculative copies are safe.
 			Speculatable: aggregators >= k,
-			Run: func(p *des.Proc, ex *Executor) (any, float64) {
-				partial := compute(p, ex, i)
+			Pure: func() float64 {
+				partial, work := compute(i)
 				if len(partial) != dim {
 					panic(fmt.Sprintf("engine: partial dim %d != %d", len(partial), dim))
 				}
+				partials[i] = partial
+				return work
+			},
+			Run: func(p *des.Proc, ex *Executor) (any, float64) {
+				partial := partials[i]
 				if !isAgg {
 					// Forward the partial to the group's aggregator and
 					// return an empty result to the driver.
 					ex.Send(p, aggName, tag, vecBytes, partial)
 					return nil, 0
 				}
-				// Aggregator: fold in the group members' partials.
+				// Aggregator: fold in the group members' partials. The fold
+				// arithmetic overlaps its own charge on the offload pool;
+				// the source buffer is dead after the fold and recycled.
 				for m := 1; m < groupSize[group]; m++ {
 					msg := ex.Recv(p, tag)
-					ex.ChargeKind(p, float64(dim), trace.Aggregate, name)
-					vec.AddScaled(partial, msg.Payload.([]float64), 1)
+					src := msg.Payload.([]float64)
+					ex.ChargeAsyncKind(p, float64(dim), trace.Aggregate, name, func() {
+						vec.AddScaled(partial, src, 1)
+					})
+					ctx.pool.Put(src)
 				}
 				return partial, vecBytes
 			},
@@ -86,11 +104,15 @@ func (ctx *Context) TreeAggregateVec(p *des.Proc, name string, dim, aggregators 
 		}
 		part := r.([]float64)
 		if total == nil {
-			total = vec.Copy(part)
+			// The first partial becomes the running total — ownership moves
+			// to the caller with the return value.
+			total = part
 			continue
 		}
-		driver.ComputeKind(p, float64(dim), trace.Aggregate, name)
-		vec.AddScaled(total, part, 1)
+		driver.ComputeAsyncKind(p, float64(dim), trace.Aggregate, name, func() {
+			vec.AddScaled(total, part, 1)
+		})
+		ctx.pool.Put(part)
 	}
 	return total
 }

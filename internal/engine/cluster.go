@@ -135,6 +135,20 @@ func (ex *Executor) ChargeKind(p *des.Proc, work float64, kind trace.Kind, note 
 	ex.node.ComputeKind(p, work*ex.factor(), kind, note)
 }
 
+// ChargeAsync charges work on the simulated clock while fn — the pure
+// numeric computation the charge models — runs on the offload pool, joining
+// before return (see simnet.Node.ComputeAsyncKind for the purity contract).
+// work must be computable without running fn; task bodies whose work is
+// value-dependent should use Task.Pure instead.
+func (ex *Executor) ChargeAsync(p *des.Proc, work float64, fn func()) {
+	ex.node.ComputeAsyncKind(p, work*ex.factor(), trace.Compute, "", fn)
+}
+
+// ChargeAsyncKind is ChargeAsync with an explicit trace kind and note.
+func (ex *Executor) ChargeAsyncKind(p *des.Proc, work float64, kind trace.Kind, note string, fn func()) {
+	ex.node.ComputeAsyncKind(p, work*ex.factor(), kind, note, fn)
+}
+
 // factor returns the straggler multiplier in effect for the current task.
 func (ex *Executor) factor() float64 {
 	if ex.slowdown > 1 {

@@ -244,8 +244,8 @@ func TestTreeAggregateVecSum(t *testing.T) {
 		sim, _, ctx := testCluster(4, DefaultConfig())
 		runOnDriver(sim, func(p *des.Proc) {
 			got := ctx.TreeAggregateVec(p, fmt.Sprintf("agg%d", aggs), 3, aggs, 0,
-				func(p *des.Proc, ex *Executor, task int) []float64 {
-					return []float64{1, 2, 3}
+				func(task int) ([]float64, float64) {
+					return []float64{1, 2, 3}, 1
 				})
 			want := []float64{4, 8, 12}
 			if !reflect.DeepEqual(got, want) {
@@ -261,8 +261,8 @@ func TestTreeAggregateReducesDriverTraffic(t *testing.T) {
 	driverRecv := func(aggs int) float64 {
 		sim, cl, ctx := testCluster(8, Config{TaskBytes: 1, ResultBytes: 1})
 		runOnDriver(sim, func(p *des.Proc) {
-			ctx.TreeAggregateVec(p, "a", 1000, aggs, 0, func(p *des.Proc, ex *Executor, task int) []float64 {
-				return make([]float64, 1000)
+			ctx.TreeAggregateVec(p, "a", 1000, aggs, 0, func(task int) ([]float64, float64) {
+				return make([]float64, 1000), 1
 			})
 		})
 		return cl.Net.Node("driver").BytesRecv()
@@ -280,8 +280,8 @@ func TestTreeAggregateChargesPayloadBroadcast(t *testing.T) {
 	sent := func(payload float64) float64 {
 		sim, cl, ctx := testCluster(4, Config{TaskBytes: 1, ResultBytes: 1})
 		runOnDriver(sim, func(p *des.Proc) {
-			ctx.TreeAggregateVec(p, "a", 10, 4, payload, func(p *des.Proc, ex *Executor, task int) []float64 {
-				return make([]float64, 10)
+			ctx.TreeAggregateVec(p, "a", 10, 4, payload, func(task int) ([]float64, float64) {
+				return make([]float64, 10), 1
 			})
 		})
 		return cl.Net.Node("driver").BytesSent()

@@ -6,7 +6,9 @@ import (
 
 	"mllibstar/internal/des"
 	"mllibstar/internal/detrand"
+	"mllibstar/internal/par"
 	"mllibstar/internal/trace"
+	"mllibstar/internal/vec"
 )
 
 // Context is the driver-side handle for running stages, the analogue of a
@@ -19,13 +21,25 @@ type Context struct {
 	specSeq  int
 	rng      *rand.Rand
 	accums   []*Accumulator
+	pool     *vec.Pool
 }
 
 // NewContext returns a Context over the cluster with the given engine
 // configuration.
 func NewContext(c *Cluster, cfg Config) *Context {
-	return &Context{Cluster: c, Cfg: cfg, rng: detrand.New(cfg.StragglerSeed)}
+	return &Context{Cluster: c, Cfg: cfg, rng: detrand.New(cfg.StragglerSeed), pool: vec.NewPool()}
 }
+
+// GetVec returns a zeroed model-sized buffer from the context's pool. Pure
+// task closures running on worker threads may call it concurrently. The
+// buffer's ownership transfers to the caller; return it with PutVec when the
+// values are dead. Buffer identity never affects numerics (every buffer
+// comes back zeroed), so pooling is outside the bit-identity contract.
+func (ctx *Context) GetVec(n int) []float64 { return ctx.pool.Get(n) }
+
+// PutVec recycles a buffer obtained from GetVec. The caller must not use b
+// afterwards (the vecalias analyzer's pooled-buffer rule enforces this).
+func (ctx *Context) PutVec(b []float64) { ctx.pool.Put(b) }
 
 // Task is one unit of work in a stage, bound to a specific executor. Run
 // executes on the executor's process; it performs real computation, charges
@@ -38,7 +52,21 @@ type Task struct {
 	// its inputs, no peer messaging, no shared-state mutation) so the
 	// scheduler may launch speculative copies against stragglers.
 	Speculatable bool
-	Run          func(p *des.Proc, ex *Executor) (result any, resultBytes float64)
+	// Pure is the task's offloadable numeric computation: a side-effect-free
+	// closure (pure in the sense of simnet.Node.ComputeAsyncKind — it owns
+	// every buffer it writes and touches no simulation state) returning the
+	// virtual-time work it performed. RunStage submits every task's Pure to
+	// the offload pool at dispatch time, before the first task message is
+	// sent, so the closures of all tasks in the stage — the units that are
+	// concurrently runnable in virtual time — execute concurrently on real
+	// OS threads. On the executor, the engine joins the closure and charges
+	// its returned work (as Executor.Charge, under the task's straggler
+	// factor) at exactly the point where Run begins, then invokes Run. With
+	// the pool disabled the closure instead runs inline at that same join
+	// point, reproducing the sequential engine's execution path exactly.
+	// Speculative copies join the same closure and charge the same work.
+	Pure func() (work float64)
+	Run  func(p *des.Proc, ex *Executor) (result any, resultBytes float64)
 }
 
 // RunStage schedules the tasks, blocks until every task's result has reached
@@ -57,11 +85,24 @@ func (ctx *Context) RunStage(p *des.Proc, name string, tasks []Task) []any {
 	rec := ctx.Cluster.Net.Recorder()
 	rec.Mark(p.Now(), "stage "+name+" start")
 
+	// Offload prefetch: submit every task's pure closure before the first
+	// task message leaves the driver. The stage's tasks are concurrently
+	// runnable in virtual time, so their closures may run concurrently in
+	// real time; each task joins its own handle (and charges the returned
+	// work) when it starts executing, which keeps the virtual-time event
+	// sequence identical to computing inline.
+	handles := make([]*par.Handle, len(tasks))
+	for i, t := range tasks {
+		if t.Pure != nil {
+			handles[i] = par.Go(t.Pure)
+		}
+	}
+
 	for i, t := range tasks {
 		if ctx.Cfg.SchedulerWork > 0 {
 			driver.ComputeKind(p, ctx.Cfg.SchedulerWork, trace.Stage, "schedule "+name)
 		}
-		msg := &taskMsg{stage: ctx.stageSeq, index: i, replyTag: replyTag, envelope: ctx.Cfg.ResultBytes, run: ctx.withStraggler(t.Run)}
+		msg := &taskMsg{stage: ctx.stageSeq, index: i, replyTag: replyTag, envelope: ctx.Cfg.ResultBytes, run: ctx.withStraggler(taskRunner(handles[i], t))}
 		driver.Send(p, ctx.Cluster.reroute(t.Exec, i), "task", ctx.Cfg.TaskBytes+t.PayloadBytes, msg)
 	}
 
@@ -93,13 +134,29 @@ func (ctx *Context) RunStage(p *des.Proc, name string, tasks []Task) []any {
 					continue
 				}
 				copyTo := ctx.Cluster.reroute(ctx.pickSpeculationHost(t.Exec), i)
-				msg := &taskMsg{stage: ctx.stageSeq, index: i, attempt: 1, replyTag: replyTag, envelope: ctx.Cfg.ResultBytes, run: ctx.withStraggler(t.Run)}
+				msg := &taskMsg{stage: ctx.stageSeq, index: i, attempt: 1, replyTag: replyTag, envelope: ctx.Cfg.ResultBytes, run: ctx.withStraggler(taskRunner(handles[i], t))}
 				driver.Send(p, copyTo, "task", ctx.Cfg.TaskBytes+t.PayloadBytes, msg)
 			}
 		}
 	}
 	rec.Mark(p.Now(), "stage "+name+" end")
 	return results
+}
+
+// taskRunner composes a task's prefetched pure closure with its Run body:
+// join the closure, charge its work (inside the straggler wrapper, so
+// offloaded work is inflated exactly like inline work), then run. Joining
+// is idempotent, so an original and a speculative copy of the same task
+// share one computation and charge the same work.
+func taskRunner(h *par.Handle, t Task) func(p *des.Proc, ex *Executor) (any, float64) {
+	if h == nil {
+		return t.Run
+	}
+	run := t.Run
+	return func(p *des.Proc, ex *Executor) (any, float64) {
+		ex.Charge(p, h.Join())
+		return run(p, ex)
+	}
 }
 
 // withStraggler wraps a task runner with this dispatch's sampled straggler

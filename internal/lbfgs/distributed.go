@@ -108,31 +108,37 @@ func trainTree(ctx *engine.Context, parts [][]glm.Example, dim int, cfg DistConf
 	driver := ctx.Cluster.Net.Node(ctx.Cluster.Driver)
 	modelBytes := float64(dim) * engine.FloatBytes
 
-	// gradStage aggregates [Σ∇l ; Σl] for the given model.
+	// gradStage aggregates [Σ∇l ; Σl] for the given model. The gradient and
+	// loss passes run as the task's pure closure over pooled buffers; g is
+	// copied out of the pooled sum so the buffer can be recycled while the
+	// optimizer state retains the gradient.
 	gradStage := func(p *des.Proc, tag string, w []float64) (g []float64, f float64) {
 		sum := ctx.TreeAggregateVec(p, tag, dim+1, aggs, modelBytes,
-			func(p *des.Proc, ex *engine.Executor, i int) []float64 {
-				out := make([]float64, dim+1)
+			func(i int) ([]float64, float64) {
+				out := ctx.GetVec(dim + 1)
 				work := cfg.Objective.AddGradient(w, parts[i], out[:dim])
 				out[dim] = cfg.Objective.LossSum(w, parts[i])
-				ex.Charge(p, float64(work)*2) // gradient + loss passes
-				return out
+				return out, float64(work) * 2 // gradient + loss passes
 			})
-		g = sum[:dim]
+		g = vec.Copy(sum[:dim])
+		f = sum[dim]/float64(total) + cfg.Objective.Reg.Value(w)
+		ctx.PutVec(sum)
 		vec.Scale(g, 1/float64(total))
 		regGradient(cfg.Objective, w, g)
-		return g, sum[dim]/float64(total) + cfg.Objective.Reg.Value(w)
+		return g, f
 	}
 	// lossStage evaluates only the objective (cheaper result, same
 	// broadcast) for line-search trials.
 	lossStage := func(p *des.Proc, tag string, w []float64) float64 {
 		sum := ctx.TreeAggregateVec(p, tag, 1, aggs, modelBytes,
-			func(p *des.Proc, ex *engine.Executor, i int) []float64 {
-				work := glm.NNZTotal(parts[i])
-				ex.Charge(p, float64(work))
-				return []float64{cfg.Objective.LossSum(w, parts[i])}
+			func(i int) ([]float64, float64) {
+				out := ctx.GetVec(1)
+				out[0] = cfg.Objective.LossSum(w, parts[i])
+				return out, float64(glm.NNZTotal(parts[i]))
 			})
-		return sum[0]/float64(total) + cfg.Objective.Reg.Value(w)
+		f := sum[0]/float64(total) + cfg.Objective.Reg.Value(w)
+		ctx.PutVec(sum)
+		return f
 	}
 
 	ctx.Cluster.Sim.Spawn("driver:lbfgs", func(p *des.Proc) {
@@ -221,11 +227,17 @@ func trainAllReduce(ctx *engine.Context, parts [][]glm.Example, dim int, cfg Dis
 	// iteration runs one full L-BFGS step inside a stage, on executor
 	// index i, synchronized by bar.
 	iteration := func(p *des.Proc, ex *engine.Executor, i, it int, bar *des.Barrier) {
-		// Partial gradient and loss over the local partition.
+		// Partial gradient and loss over the local partition. The work is
+		// structural (one gradient pass + one loss pass over the partition's
+		// nonzeros), so the charge overlaps the arithmetic on the offload
+		// pool. The closure only reads w — the next write to w (replica 0's
+		// line-search acceptance) sits behind the AllReduce and barrier this
+		// closure's join precedes.
 		partial := make([]float64, dim+1)
-		work := cfg.Objective.AddGradient(w, parts[i], partial[:dim])
-		partial[dim] = cfg.Objective.LossSum(w, parts[i])
-		ex.Charge(p, float64(work)*2)
+		ex.ChargeAsync(p, float64(glm.NNZTotal(parts[i]))*2, func() {
+			cfg.Objective.AddGradient(w, parts[i], partial[:dim])
+			partial[dim] = cfg.Objective.LossSum(w, parts[i])
+		})
 		allreduce.Average(p, ex, ctx.Cluster.Execs, i, fmt.Sprintf("lbg%d", it), partial)
 
 		// Replicated optimizer math: every executor pays for it; replica 0
@@ -265,8 +277,10 @@ func trainAllReduce(ctx *engine.Context, parts [][]glm.Example, dim int, cfg Dis
 				shared.accept = false
 			}
 			bar.Arrive(p) // trial visible to all replicas
-			ex.Charge(p, float64(glm.NNZTotal(parts[i])))
-			lossVec := []float64{cfg.Objective.LossSum(shared.trial, parts[i])}
+			lossVec := []float64{0}
+			ex.ChargeAsync(p, float64(glm.NNZTotal(parts[i])), func() {
+				lossVec[0] = cfg.Objective.LossSum(shared.trial, parts[i])
+			})
 			allreduce.Sum(p, ex, ctx.Cluster.Execs, i, fmt.Sprintf("ls%d.%d", it, ls), lossVec)
 			if i == 0 {
 				fNew := lossVec[0]/float64(total) + cfg.Objective.Reg.Value(shared.trial)

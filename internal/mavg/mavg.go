@@ -48,26 +48,36 @@ func Train(ctx *engine.Context, parts [][]glm.Example, dim int, prm train.Params
 	res := &train.Result{System: System, Curve: ev.Curve}
 	w := make([]float64, dim)
 	modelBytes := float64(dim) * engine.FloatBytes
+	// Per-task optimizer scratch, reused across steps. Task i's closure for
+	// step t+1 cannot start before step t's stage barrier, so each slot is
+	// touched by one closure at a time.
+	scratch := make([]*opt.PassScratch, k)
+	for i := range scratch {
+		scratch[i] = opt.NewPassScratch()
+	}
 
 	sim.Spawn("driver:mavg", func(p *des.Proc) {
 		ev.Record(0, p.Now(), w)
 		for t := 1; t <= prm.MaxSteps; t++ {
 			stepW := w
 			sum := ctx.TreeAggregateVec(p, fmt.Sprintf("ma%d", t), dim, aggs, modelBytes,
-				func(p *des.Proc, ex *engine.Executor, i int) []float64 {
-					local := vec.Copy(stepW)
+				func(i int) ([]float64, float64) {
+					local := ctx.GetVec(dim)
+					copy(local, stepW)
 					work := 0
 					etaT := opt.Const(sched(t - 1))
 					for pass := 0; pass < prm.LocalPasses; pass++ {
-						work += opt.LocalPass(prm.Objective, local, parts[i], etaT, 0)
+						work += opt.LocalPassWith(prm.Objective, local, parts[i], etaT, 0, scratch[i])
 					}
-					ex.Charge(p, float64(work))
-					res.Updates += int64(prm.LocalPasses * len(parts[i]))
-					return local
+					return local, float64(work)
 				})
+			for i := range parts {
+				res.Updates += int64(prm.LocalPasses * len(parts[i]))
+			}
 			// Model averaging at the driver: w ← (1/k)·Σ local models.
 			copy(w, sum)
 			vec.Scale(w, 1/float64(k))
+			ctx.PutVec(sum)
 			driver.ComputeKind(p, float64(dim), trace.Update, "model averaging")
 
 			res.CommSteps = t

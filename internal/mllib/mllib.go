@@ -81,16 +81,15 @@ func Train(ctx *engine.Context, parts [][]glm.Example, dim int, prm train.Params
 				payload = 0
 			}
 			sum := ctx.TreeAggregateVec(p, fmt.Sprintf("mgd%d", t), dim+1, aggs, payload,
-				func(p *des.Proc, ex *engine.Executor, i int) []float64 {
+				func(i int) ([]float64, float64) {
 					local := parts[i]
 					rng := detrand.Step(prm.Seed, t, i)
 					batch := sampleFraction(rng, local, prm.BatchFraction)
-					g := make([]float64, dim+1)
+					g := ctx.GetVec(dim + 1)
 					work := prm.Objective.AddGradient(stepW, batch, g[:dim])
-					// Sampling scans the partition; gradient work is nnz.
-					ex.Charge(p, float64(work)+float64(len(local)))
 					g[dim] = float64(len(batch))
-					return g
+					// Sampling scans the partition; gradient work is nnz.
+					return g, float64(work) + float64(len(local))
 				})
 			count := sum[dim]
 			if count > 0 {
@@ -102,6 +101,7 @@ func Train(ctx *engine.Context, parts [][]glm.Example, dim int, prm train.Params
 				driver.ComputeKind(p, float64(dim), trace.Update, "model update")
 				res.Updates++
 			}
+			ctx.PutVec(sum)
 			res.CommSteps = t
 			if obj, recorded := ev.Record(t, p.Now(), w); recorded {
 				if prm.TargetObjective > 0 && obj <= prm.TargetObjective {

@@ -42,9 +42,10 @@ func MGDStep(obj glm.Objective, w []float64, batch []glm.Example, eta float64, s
 	}
 	g := scratch
 	if len(g) != len(w) {
-		g = make([]float64, len(w))
+		g = make([]float64, len(w)) // fresh buffer: already zero
+	} else {
+		vec.Zero(g) // recycled scratch: clear only in this case
 	}
-	vec.Zero(g)
 	work = obj.AddGradient(w, batch, g)
 	inv := eta / float64(len(batch))
 	if _, isNone := obj.Reg.(glm.None); isNone {
@@ -113,6 +114,16 @@ func (l *LazyL2SGD) Reset(w0 []float64) {
 	l.s = 1
 }
 
+// ResetWith is Reset with a (possibly different) regularization strength,
+// for updaters recycled across objectives.
+func (l *LazyL2SGD) ResetWith(w0 []float64, lambda float64) {
+	if lambda < 0 {
+		panic(fmt.Sprintf("opt: negative lambda %g", lambda))
+	}
+	l.Lambda = lambda
+	l.Reset(w0)
+}
+
 // Step applies one per-example update with learning rate eta and returns
 // the work in nonzeros touched.
 func (l *LazyL2SGD) Step(loss glm.Loss, e glm.Example, eta float64) (work int) {
@@ -151,12 +162,38 @@ func (l *LazyL2SGD) Weights() []float64 {
 	return w
 }
 
+// WeightsInto materializes the current model w = s·v into dst without
+// allocating (bit-identical to copying Weights(): one multiply per
+// coordinate). dst must have the model's length.
+func (l *LazyL2SGD) WeightsInto(dst []float64) {
+	vec.ScaleTo(dst, l.s, l.v)
+}
+
+// PassScratch holds the reusable buffers of LocalPassWith: with an L2 term
+// every pass needs a lazily scaled shadow of the model, and recycling it
+// across steps removes the two model-sized allocations (the shadow copy and
+// the materialized result) each pass otherwise pays.
+type PassScratch struct {
+	lazy *LazyL2SGD
+}
+
+// NewPassScratch returns an empty scratch; buffers are sized lazily on first
+// use.
+func NewPassScratch() *PassScratch { return &PassScratch{} }
+
 // LocalPass runs per-example SGD over data (one epoch, in the given order),
 // using the lazy representation when obj has an L2 term and plain sparse
 // updates otherwise. It is the worker-local computation of the SendModel
 // paradigm: w is updated in place, and the returned work drives the compute
 // cost model.
 func LocalPass(obj glm.Objective, w []float64, data []glm.Example, sched Schedule, stepBase int) (work int) {
+	return LocalPassWith(obj, w, data, sched, stepBase, nil)
+}
+
+// LocalPassWith is LocalPass with caller-provided scratch (nil allocates
+// per call, reproducing LocalPass). The trained model is bit-identical
+// either way; only the allocation count differs.
+func LocalPassWith(obj glm.Objective, w []float64, data []glm.Example, sched Schedule, stepBase int, sc *PassScratch) (work int) {
 	switch reg := obj.Reg.(type) {
 	case glm.None:
 		for i, e := range data {
@@ -168,11 +205,20 @@ func LocalPass(obj glm.Objective, w []float64, data []glm.Example, sched Schedul
 			work += e.X.NNZ()
 		}
 	case glm.L2:
-		lazy := NewLazyL2SGD(w, reg.Strength)
+		var lazy *LazyL2SGD
+		if sc != nil && sc.lazy != nil && len(sc.lazy.v) == len(w) {
+			lazy = sc.lazy
+			lazy.ResetWith(w, reg.Strength)
+		} else {
+			lazy = NewLazyL2SGD(w, reg.Strength)
+			if sc != nil {
+				sc.lazy = lazy
+			}
+		}
 		for i, e := range data {
 			work += lazy.Step(obj.Loss, e, sched(stepBase+i))
 		}
-		copy(w, lazy.Weights())
+		lazy.WeightsInto(w)
 		work += len(w) // final materialization
 	default:
 		for i, e := range data {
@@ -244,7 +290,7 @@ func RunSeqMGD(cfg SeqConfig, data []glm.Example, dim int) ([]float64, []SeqPoin
 	}
 	rng := detrand.New(cfg.Seed)
 	w := make([]float64, dim)
-	scratch := make([]float64, dim)
+	accum := NewSparseAccum(dim)
 	var batchBuf []glm.Example
 	var curve []SeqPoint
 	curve = append(curve, SeqPoint{0, cfg.Objective.Value(w, data)})
@@ -256,7 +302,7 @@ func RunSeqMGD(cfg SeqConfig, data []glm.Example, dim int) ([]float64, []SeqPoin
 			}
 			batch = SampleBatch(rng, data, cfg.BatchSize, batchBuf)
 		}
-		MGDStep(cfg.Objective, w, batch, cfg.Eta, scratch)
+		MGDStepAccum(cfg.Objective, w, batch, cfg.Eta, accum)
 		if t%evalEvery == 0 || t == cfg.Iters {
 			curve = append(curve, SeqPoint{t, cfg.Objective.Value(w, data)})
 		}
@@ -282,11 +328,13 @@ func ReferenceOptimumOn(obj glm.Objective, trainData, evalData []glm.Example, di
 		budget = 200
 	}
 	best := math.Inf(1)
+	w := make([]float64, dim)
+	sc := NewPassScratch()
 	for _, eta := range []float64{1, 0.3, 0.1, 0.03} {
-		w := make([]float64, dim)
+		vec.Zero(w) // recycle one buffer across the eta grid
 		for ep := 0; ep < budget; ep++ {
 			// Per-epoch 1/sqrt decay: constant rate within an epoch.
-			LocalPass(obj, w, trainData, Const(eta/math.Sqrt(1+float64(ep))), 0)
+			LocalPassWith(obj, w, trainData, Const(eta/math.Sqrt(1+float64(ep))), 0, sc)
 			if v := obj.Value(w, evalData); v < best {
 				best = v
 			}

@@ -1,0 +1,104 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// restore resets the pool to the default configuration after a test mutated
+// it; the package-level state is shared across tests in the binary.
+func restore() { Configure(true, 0) }
+
+func TestJoinReturnsWork(t *testing.T) {
+	defer restore()
+	for _, force := range []bool{false, true} {
+		if force {
+			ForceEnable(4)
+		} else {
+			Configure(false, 0)
+		}
+		h := Go(func() float64 { return 42.5 })
+		if got := h.Join(); got != 42.5 {
+			t.Fatalf("force=%v: Join = %g, want 42.5", force, got)
+		}
+		// Joining again returns the same value without re-running.
+		if got := h.Join(); got != 42.5 {
+			t.Fatalf("force=%v: second Join = %g", force, got)
+		}
+	}
+}
+
+func TestLazyHandleRunsOnce(t *testing.T) {
+	defer restore()
+	Configure(false, 0)
+	var runs atomic.Int32
+	h := Go(func() float64 { return float64(runs.Add(1)) })
+	if runs.Load() != 0 {
+		t.Fatal("disabled pool ran the closure at submit time")
+	}
+	h.Join()
+	h.Join()
+	if runs.Load() != 1 {
+		t.Fatalf("closure ran %d times, want 1", runs.Load())
+	}
+}
+
+func TestPanicPropagatesAtJoin(t *testing.T) {
+	defer restore()
+	for _, force := range []bool{false, true} {
+		if force {
+			ForceEnable(2)
+		} else {
+			Configure(false, 0)
+		}
+		h := Go(func() float64 { panic("kernel exploded") })
+		func() {
+			defer func() {
+				if r := recover(); r != "kernel exploded" {
+					t.Errorf("force=%v: recovered %v", force, r)
+				}
+			}()
+			h.Join()
+			t.Errorf("force=%v: Join did not panic", force)
+		}()
+	}
+}
+
+func TestConcurrentClosuresAllComplete(t *testing.T) {
+	defer restore()
+	ForceEnable(4)
+	const n = 64
+	var sum atomic.Int64
+	handles := make([]*Handle, n)
+	for i := range handles {
+		i := i
+		handles[i] = Go(func() float64 {
+			sum.Add(int64(i))
+			return float64(i)
+		})
+	}
+	total := 0.0
+	for _, h := range handles {
+		total += h.Join()
+	}
+	want := float64(n*(n-1)) / 2
+	if total != want {
+		t.Fatalf("joined work %g, want %g", total, want)
+	}
+	if sum.Load() != int64(want) {
+		t.Fatalf("side-effect sum %d, want %d", sum.Load(), int64(want))
+	}
+}
+
+func TestDoChargesZero(t *testing.T) {
+	defer restore()
+	ForceEnable(2)
+	ran := false
+	h := Do(func() { ran = true })
+	if got := h.Join(); got != 0 {
+		t.Fatalf("Do handle work = %g, want 0", got)
+	}
+	if !ran {
+		t.Fatal("Do closure did not run")
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"mllibstar/internal/opt"
 	"mllibstar/internal/ps"
 	"mllibstar/internal/simnet"
+	"mllibstar/internal/trace"
 	"mllibstar/internal/train"
 	"mllibstar/internal/vec"
 )
@@ -102,32 +103,44 @@ func Train(sim *des.Sim, net *simnet.Network, nodeNames []string, parts [][]glm.
 				batch, next := window(part, cursor, batchSize)
 				cursor = next
 				eta := sched(t - 1)
-				var delta []float64
-				var work int
-				if regIsNone {
-					// Parallel SGD inside the batch: many updates per step.
-					local := vec.Copy(w)
-					work = opt.LocalPass(prm.Objective, local, batch, opt.Const(eta), 0)
-					delta = local
-					vec.AddScaled(delta, w, -1)
-					res.Updates += int64(len(batch))
-				} else {
-					// One dense batch-GD update per communication step.
-					delta = make([]float64, dim)
-					work = prm.Objective.AddGradient(w, batch, scratch) // scratch = Σ∇l
-					inv := eta / float64(len(batch))
-					for j := 0; j < dim; j++ {
-						delta[j] = -inv*scratch[j] - eta*prm.Objective.Reg.DerivAt(w[j])
-						scratch[j] = 0
-					}
+				// The step's work is structural — nonzeros in the batch, plus
+				// the dense delta construction when regularized — so the
+				// charge is known before the arithmetic runs and the delta
+				// computation overlaps it on the offload pool. The closure is
+				// pure: w is this worker's private pull buffer, scratch and
+				// delta are worker-owned, batch is read-only.
+				work := glm.NNZTotal(batch)
+				if !regIsNone {
 					work += 2 * dim
-					res.Updates++
 				}
 				effort := float64(work)
 				if prm.ComputeJitter > 0 {
 					effort *= 1 + prm.ComputeJitter*jitter.Float64()
 				}
-				node.Compute(p, effort)
+				var delta []float64
+				node.ComputeAsyncKind(p, effort, trace.Compute, "", func() {
+					if regIsNone {
+						// Parallel SGD inside the batch: many updates per step.
+						local := vec.Copy(w)
+						opt.LocalPass(prm.Objective, local, batch, opt.Const(eta), 0)
+						delta = local
+						vec.AddScaled(delta, w, -1)
+					} else {
+						// One dense batch-GD update per communication step.
+						delta = make([]float64, dim)
+						prm.Objective.AddGradient(w, batch, scratch) // scratch = Σ∇l
+						inv := eta / float64(len(batch))
+						for j := 0; j < dim; j++ {
+							delta[j] = -inv*scratch[j] - eta*prm.Objective.Reg.DerivAt(w[j])
+							scratch[j] = 0
+						}
+					}
+				})
+				if regIsNone {
+					res.Updates += int64(len(batch))
+				} else {
+					res.Updates++
+				}
 				deploy.Push(p, node.Name(), r, t, delta)
 			}
 			if r == 0 && !stop {

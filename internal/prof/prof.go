@@ -1,0 +1,126 @@
+// Package prof wires the standard Go profiling endpoints and the offload
+// switch into the repository's CLIs: -par (the deterministic compute-offload
+// pool), -cpuprofile, -memprofile, and -trace. Results are bit-identical
+// with -par on or off — the flag only changes wall-clock behaviour — which
+// is what makes before/after profiles of the same run comparable.
+package prof
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	rtrace "runtime/trace"
+	"strconv"
+
+	"mllibstar/internal/par"
+)
+
+// Config holds the parsed flag values. Obtain one with Register, then call
+// Start after flag.Parse.
+type Config struct {
+	par     onOff
+	workers *int
+	cpu     *string
+	mem     *string
+	trace   *string
+}
+
+// onOff is a boolean flag that also accepts the spellings on/off.
+type onOff bool
+
+func (v *onOff) String() string {
+	if *v {
+		return "on"
+	}
+	return "off"
+}
+
+func (v *onOff) Set(s string) error {
+	switch s {
+	case "on":
+		*v = true
+	case "off":
+		*v = false
+	default:
+		b, err := strconv.ParseBool(s)
+		if err != nil {
+			return fmt.Errorf("want on, off, true, or false")
+		}
+		*v = onOff(b)
+	}
+	return nil
+}
+
+func (v *onOff) IsBoolFlag() bool { return true }
+
+// Register declares the flags on fs (normally flag.CommandLine).
+func Register(fs *flag.FlagSet) *Config {
+	c := &Config{par: true}
+	fs.Var(&c.par, "par", "run pure numeric closures on the offload pool: on or off (bit-identical results; falls back to inline when GOMAXPROCS=1)")
+	c.workers = fs.Int("parworkers", 0, "offload pool size (0 = GOMAXPROCS)")
+	c.cpu = fs.String("cpuprofile", "", "write a CPU profile to this file")
+	c.mem = fs.String("memprofile", "", "write a heap profile to this file on exit")
+	c.trace = fs.String("trace", "", "write a runtime execution trace to this file")
+	return c
+}
+
+// Start applies the offload configuration and begins any requested
+// profiling. The returned stop function flushes profiles and must run before
+// the process exits (normally via defer in main).
+func (c *Config) Start() (stop func(), err error) {
+	par.Configure(bool(c.par), *c.workers)
+
+	var cpuFile, traceFile *os.File
+	if *c.cpu != "" {
+		cpuFile, err = os.Create(*c.cpu)
+		if err != nil {
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			_ = cpuFile.Close()
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+	}
+	if *c.trace != "" {
+		traceFile, err = os.Create(*c.trace)
+		if err != nil {
+			if cpuFile != nil {
+				pprof.StopCPUProfile()
+				_ = cpuFile.Close()
+			}
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		if err := rtrace.Start(traceFile); err != nil {
+			_ = traceFile.Close()
+			if cpuFile != nil {
+				pprof.StopCPUProfile()
+				_ = cpuFile.Close()
+			}
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+	}
+	return func() {
+		if traceFile != nil {
+			rtrace.Stop()
+			_ = traceFile.Close()
+		}
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			_ = cpuFile.Close()
+		}
+		if *c.mem != "" {
+			f, err := os.Create(*c.mem)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "prof:", err)
+				return
+			}
+			runtime.GC() // materialize the final live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "prof:", err)
+			}
+			_ = f.Close()
+		}
+	}, nil
+}

@@ -128,6 +128,72 @@ func Scale(w []float64, alpha float64) {
 	}
 }
 
+// ScaleTo writes dst[i] = alpha*src[i] — the materialization kernel of the
+// lazily scaled representation, fused so it needs neither a copy nor a
+// second pass. dst and src may be the same slice.
+func ScaleTo(dst []float64, alpha float64, src []float64) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("vec: ScaleTo length mismatch %d != %d", len(dst), len(src)))
+	}
+	for i, v := range src {
+		dst[i] = alpha * v
+	}
+}
+
+// ScaleAxpy performs w = alpha*w + beta*x for sparse x in a single dense
+// pass, merging the sparse updates into the scaling sweep instead of
+// touching w twice. It is the fused form of Scale(w, alpha) followed by
+// Axpy(beta, x, w) and is bit-identical to that composition (each element
+// still sees exactly one multiply, then at most one multiply-add, in the
+// same order). Indices of x beyond len(w) are ignored, matching Axpy.
+func ScaleAxpy(w []float64, alpha float64, beta float64, x Sparse) {
+	k := 0
+	for j := range w {
+		w[j] *= alpha
+		if k < len(x.Ind) && x.Ind[k] == int32(j) {
+			w[j] += beta * x.Val[k]
+			k++
+		}
+	}
+}
+
+// DotNorm returns <w, x> and ||x||² in one pass over x's nonzeros — the
+// margin and the example norm that normalized-update rules need together.
+// Each sum accumulates in the same order as the unfused Dot and
+// Sparse.Norm2Sq, so the results are bit-identical to calling them
+// separately.
+func DotNorm(w []float64, x Sparse) (dot, norm2 float64) {
+	n := int32(len(w))
+	for i, ix := range x.Ind {
+		v := x.Val[i]
+		norm2 += v * v
+		if ix < n {
+			dot += w[ix] * v
+		}
+	}
+	return dot, norm2
+}
+
+// Dot2 returns <a, x> and <b, x> in one pass over x's nonzeros — the two
+// margins SVRG's corrected step evaluates per example (current model and
+// snapshot). Both sums accumulate in the same order as separate Dot calls,
+// so the results are bit-identical. a and b must have equal length.
+func Dot2(a, b []float64, x Sparse) (da, db float64) {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("vec: Dot2 length mismatch %d != %d", len(a), len(b)))
+	}
+	n := int32(len(a))
+	for i, ix := range x.Ind {
+		if ix >= n {
+			break
+		}
+		v := x.Val[i]
+		da += a[ix] * v
+		db += b[ix] * v
+	}
+	return da, db
+}
+
 // AddScaled performs dst += alpha * src for equally sized dense vectors.
 func AddScaled(dst, src []float64, alpha float64) {
 	if len(dst) != len(src) {
