@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint fuzz bench bench-smoke check clean
+.PHONY: build test race lint fuzz bench bench-smoke docs check clean
 
 build: ## compile everything
 	$(GO) build ./...
@@ -17,18 +17,22 @@ race: ## unit tests under the race detector
 lint: ## go vet + the repo's own analyzers (internal/analysis)
 	$(GO) run ./cmd/mlstar-lint ./...
 
-fuzz: ## short fuzz run of the libsvm reader
+fuzz: ## short fuzz runs: libsvm reader + sparse encoding round-trip
 	$(GO) test -fuzz=FuzzReadLibSVM -fuzztime=10s ./internal/data
+	$(GO) test -fuzz=FuzzRoundTrip -fuzztime=10s ./internal/sparse
 
-bench: ## wall-clock benchmarks (offload on/off + kernels) -> BENCH_2.json
+bench: ## wall-clock benchmarks (offload on/off, sparse on/off, kernels) -> BENCH_3.json
 	$(GO) test -bench 'BenchmarkWallClock' -run '^$$' -benchmem ./internal/bench \
-		| tee /dev/stderr | $(GO) run ./cmd/mlstar-benchjson -out BENCH_2.json
+		| tee /dev/stderr | $(GO) run ./cmd/mlstar-benchjson -out BENCH_3.json
 
-bench-smoke: ## one-iteration benchmark pass + offload bit-identity tests
+bench-smoke: ## one-iteration benchmark pass + bit-identity tests
 	$(GO) test -bench 'BenchmarkWallClock' -benchtime=1x -run '^$$' -benchmem ./internal/bench
-	$(GO) test -run 'TestParallelOffload|TestKernelAllocReduction' -v ./internal/bench
+	$(GO) test -run 'TestParallelOffload|TestKernelAllocReduction|TestSparse' -v ./internal/bench
 
-check: build lint race fuzz ## everything CI runs
+docs: ## check ARCHITECTURE/README/EXPERIMENTS: intra-repo links + quoted commands
+	$(GO) test -run 'TestDocs' -v ./...
+
+check: build lint race fuzz docs ## everything CI runs
 
 clean:
 	$(GO) clean ./...

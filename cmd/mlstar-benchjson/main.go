@@ -1,11 +1,21 @@
 // Command mlstar-benchjson converts `go test -bench` output (read from
-// stdin) into a machine-readable JSON artifact. For every benchmark with
-// par=off / par=on sub-runs it also reports the wall-clock speedup of the
-// offloaded engine over the sequential one.
+// stdin) into a machine-readable JSON artifact. Every `<value> <unit>` pair
+// on a benchmark line is captured — the standard ns/op, B/op, allocs/op
+// plus any custom b.ReportMetric units (commbytes/op, simsec/op, ...).
+//
+// Two derived tables are emitted from paired sub-runs:
+//
+//   - speedup_par_vs_seq: ns/op(par=off) / ns/op(par=on) for benchmarks
+//     with offload-mode sub-runs; >1 means the offload pool won.
+//   - comm_reduction_sparse: commbytes/op(sparse=off) / commbytes/op(sparse=on)
+//     for benchmarks with exchange-mode sub-runs; >1 means the sparse
+//     model-delta encoding shrank the simulated traffic. The companion
+//     sim_speedup_sparse is the same ratio for simsec/op — the virtual-time
+//     win the byte accounting buys.
 //
 // Usage:
 //
-//	go test -bench 'BenchmarkWallClock' -benchmem ./internal/bench | mlstar-benchjson -out BENCH_2.json
+//	go test -bench 'BenchmarkWallClock' -benchmem ./internal/bench | mlstar-benchjson -out BENCH_3.json
 package main
 
 import (
@@ -26,6 +36,9 @@ type benchResult struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
 	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// Metrics holds any further unit -> value pairs reported via
+	// b.ReportMetric, e.g. "commbytes/op" or "simsec/op".
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // artifact is the emitted JSON document.
@@ -36,16 +49,24 @@ type artifact struct {
 	// single-CPU host the pool falls back to inline execution and the ratio
 	// is ~1 by construction.
 	SpeedupParVsSeq map[string]float64 `json:"speedup_par_vs_seq,omitempty"`
+	// CommReductionSparse maps a benchmark's base name to
+	// commbytes/op(sparse=off) / commbytes/op(sparse=on) — the simulated
+	// communication-byte reduction from the sparse model-delta exchange.
+	CommReductionSparse map[string]float64 `json:"comm_reduction_sparse,omitempty"`
+	// SimSpeedupSparse is the matching simsec/op ratio: how much faster the
+	// simulated clock runs once messages are delta-coded.
+	SimSpeedupSparse map[string]float64 `json:"sim_speedup_sparse,omitempty"`
 }
 
-// benchLine matches one result row of `go test -bench` output.
-var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+([\d.]+) allocs/op)?`)
+// benchPrefix matches the name and iteration count of a result row; the
+// remainder of the line is parsed as `<value> <unit>` pairs.
+var benchPrefix = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.*)$`)
 
 // cpuSuffix strips the trailing -<GOMAXPROCS> go appends to benchmark names.
 var cpuSuffix = regexp.MustCompile(`-\d+$`)
 
 func main() {
-	out := flag.String("out", "BENCH_2.json", "output JSON path")
+	out := flag.String("out", "BENCH_3.json", "output JSON path")
 	flag.Parse()
 
 	art, err := parse(bufio.NewScanner(os.Stdin))
@@ -69,19 +90,35 @@ func main() {
 func parse(sc *bufio.Scanner) (*artifact, error) {
 	art := &artifact{}
 	for sc.Scan() {
-		m := benchLine.FindStringSubmatch(sc.Text())
+		m := benchPrefix.FindStringSubmatch(sc.Text())
 		if m == nil {
 			continue
 		}
 		name := cpuSuffix.ReplaceAllString(strings.TrimPrefix(m[1], "Benchmark"), "")
 		iters, _ := strconv.ParseInt(m[2], 10, 64)
-		ns, _ := strconv.ParseFloat(m[3], 64)
-		r := benchResult{Name: name, Iterations: iters, NsPerOp: ns}
-		if m[4] != "" {
-			r.BytesPerOp, _ = strconv.ParseFloat(m[4], 64)
+		r := benchResult{Name: name, Iterations: iters}
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break // not a metric tail; stop pairing
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				r.NsPerOp = v
+			case "B/op":
+				r.BytesPerOp = v
+			case "allocs/op":
+				r.AllocsPerOp = v
+			default:
+				if r.Metrics == nil {
+					r.Metrics = map[string]float64{}
+				}
+				r.Metrics[unit] = v
+			}
 		}
-		if m[5] != "" {
-			r.AllocsPerOp, _ = strconv.ParseFloat(m[5], 64)
+		if r.NsPerOp == 0 && r.Metrics == nil {
+			continue // header-ish line that happened to match the prefix
 		}
 		art.Benchmarks = append(art.Benchmarks, r)
 	}
@@ -91,23 +128,37 @@ func parse(sc *bufio.Scanner) (*artifact, error) {
 	if len(art.Benchmarks) == 0 {
 		return nil, fmt.Errorf("no benchmark lines on stdin")
 	}
+	art.SpeedupParVsSeq = ratios(art.Benchmarks, "/par=off", "/par=on",
+		func(r benchResult) float64 { return r.NsPerOp })
+	art.CommReductionSparse = ratios(art.Benchmarks, "/sparse=off", "/sparse=on",
+		func(r benchResult) float64 { return r.Metrics["commbytes/op"] })
+	art.SimSpeedupSparse = ratios(art.Benchmarks, "/sparse=off", "/sparse=on",
+		func(r benchResult) float64 { return r.Metrics["simsec/op"] })
+	return art, nil
+}
+
+// ratios pairs sub-runs by base name and returns metric(off run) /
+// metric(on run) for every base where both runs reported a positive value.
+// A nil map means no such pairs were present.
+func ratios(results []benchResult, offSuffix, onSuffix string, metric func(benchResult) float64) map[string]float64 {
 	off := map[string]float64{}
 	on := map[string]float64{}
-	for _, r := range art.Benchmarks {
-		if base, ok := strings.CutSuffix(r.Name, "/par=off"); ok {
-			off[base] = r.NsPerOp
+	for _, r := range results {
+		if base, ok := strings.CutSuffix(r.Name, offSuffix); ok {
+			off[base] = metric(r)
 		}
-		if base, ok := strings.CutSuffix(r.Name, "/par=on"); ok {
-			on[base] = r.NsPerOp
+		if base, ok := strings.CutSuffix(r.Name, onSuffix); ok {
+			on[base] = metric(r)
 		}
 	}
-	for base, seq := range off { //mlstar:nolint determinism -- order-insensitive: filling a map from a map
-		if par := on[base]; par > 0 {
-			if art.SpeedupParVsSeq == nil {
-				art.SpeedupParVsSeq = map[string]float64{}
+	var out map[string]float64
+	for base, num := range off { //mlstar:nolint determinism -- order-insensitive: filling a map from a map
+		if den := on[base]; den > 0 && num > 0 {
+			if out == nil {
+				out = map[string]float64{}
 			}
-			art.SpeedupParVsSeq[base] = seq / par
+			out[base] = num / den
 		}
 	}
-	return art, nil
+	return out
 }

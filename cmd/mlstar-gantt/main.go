@@ -7,6 +7,7 @@
 //	mlstar-gantt                 # all three charts, ASCII
 //	mlstar-gantt -system MLlib*  # one system
 //	mlstar-gantt -csv out/       # also dump span CSVs for plotting
+//	mlstar-gantt -svg out/       # also render SVG charts (labeled legend)
 package main
 
 import (
@@ -28,6 +29,7 @@ func main() {
 		execs  = flag.Int("executors", 8, "number of executors")
 		width  = flag.Int("width", 110, "chart width in characters")
 		csvDir = flag.String("csv", "", "directory to write span CSVs into")
+		svgDir = flag.String("svg", "", "directory to write SVG gantt charts into")
 	)
 	flag.Parse()
 
@@ -58,14 +60,27 @@ func main() {
 		}
 		fmt.Printf("--- %s: %d steps in %.4f simulated s ---\n", sys, res.CommSteps, res.SimTime)
 		fmt.Println(mllibstar.RenderGantt(rec, *width))
+		name := strings.NewReplacer("*", "star", "+", "_").Replace(string(sys))
 		if *csvDir != "" {
 			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
-			name := strings.NewReplacer("*", "star", "+", "_").Replace(string(sys))
 			path := filepath.Join(*csvDir, fmt.Sprintf("gantt_%s.csv", name))
 			if err := os.WriteFile(path, []byte(rec.CSV()), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
+		if *svgDir != "" {
+			if err := os.MkdirAll(*svgDir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			path := filepath.Join(*svgDir, fmt.Sprintf("gantt_%s.svg", name))
+			svg := mllibstar.RenderGanttSVG(rec, fmt.Sprintf("%s · cluster activity", sys), 900)
+			if err := os.WriteFile(path, []byte(svg), 0o644); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}

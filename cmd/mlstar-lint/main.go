@@ -1,6 +1,7 @@
 // Command mlstar-lint is the repository's lint gate: it runs go vet plus
 // the project-specific analyzers (determinism, vecalias, floateq,
-// errdiscard, gocapture) over the given package patterns and exits non-zero
+// errdiscard, gocapture, pkgdoc) over the given package patterns and exits
+// non-zero
 // on any finding.
 //
 // Usage:
@@ -29,6 +30,7 @@ import (
 	"mllibstar/internal/analysis/floateq"
 	"mllibstar/internal/analysis/gocapture"
 	"mllibstar/internal/analysis/loader"
+	"mllibstar/internal/analysis/pkgdoc"
 	"mllibstar/internal/analysis/vecalias"
 )
 
@@ -39,6 +41,7 @@ var analyzers = []*analysis.Analyzer{
 	floateq.Analyzer,
 	errdiscard.Analyzer,
 	gocapture.Analyzer,
+	pkgdoc.Analyzer,
 }
 
 func main() {

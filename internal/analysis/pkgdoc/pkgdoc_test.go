@@ -1,0 +1,20 @@
+package pkgdoc_test
+
+import (
+	"testing"
+
+	"mllibstar/internal/analysis/analysistest"
+	"mllibstar/internal/analysis/pkgdoc"
+)
+
+func TestMissingDoc(t *testing.T) {
+	analysistest.Run(t, "testdata/src/a", pkgdoc.Analyzer)
+}
+
+func TestDocumented(t *testing.T) {
+	analysistest.Run(t, "testdata/src/b", pkgdoc.Analyzer)
+}
+
+func TestWrongPrefix(t *testing.T) {
+	analysistest.Run(t, "testdata/src/c", pkgdoc.Analyzer)
+}

@@ -1,0 +1,4 @@
+// helper without the doc comment; doc.go carries it for the package.
+package b
+
+func B() int { return 2 }

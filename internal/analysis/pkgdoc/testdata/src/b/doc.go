@@ -1,0 +1,2 @@
+// Package b is fully documented, on a file other than the first.
+package b

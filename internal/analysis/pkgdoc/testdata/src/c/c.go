@@ -1,0 +1,4 @@
+// This comment documents the package but not in the standard form.
+package c // want `package doc comment must start with "Package c"`
+
+func C() int { return 3 }

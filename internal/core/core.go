@@ -69,10 +69,17 @@ func Train(ctx *engine.Context, parts [][]glm.Example, dim int, prm train.Params
 	for i := range scratch {
 		scratch[i] = opt.NewPassScratch()
 	}
+	// ref snapshots the synchronized model at the top of each step — the
+	// reference every executor's local already equals bitwise, against which
+	// the AllReduce delta-encodes when sparse exchange is on. The snapshot is
+	// simulation bookkeeping, not a modeled computation (each executor holds
+	// the same bits as locals[i]), so it is not charged.
+	ref := make([]float64, dim)
 
 	sim.Spawn("driver:mllibstar", func(p *des.Proc) {
 		ev.Record(0, p.Now(), locals[0])
 		for t := 1; t <= prm.MaxSteps; t++ {
+			copy(ref, locals[0])
 			tasks := make([]engine.Task, k)
 			for i := 0; i < k; i++ {
 				i := i
@@ -107,7 +114,9 @@ func Train(ctx *engine.Context, parts [][]glm.Example, dim int, prm train.Params
 					},
 					Run: func(p *des.Proc, ex *engine.Executor) (any, float64) {
 						// Reduce-Scatter + AllGather: distributed averaging.
-						allreduce.Average(p, ex, ctx.Cluster.Execs, i, fmt.Sprintf("s%d", t), locals[i])
+						// The exchange delta-encodes against the step-start
+						// model when sparse communication is enabled.
+						allreduce.AverageDelta(p, ex, ctx.Cluster.Execs, i, fmt.Sprintf("s%d", t), locals[i], ref)
 						return nil, 0
 					},
 				}

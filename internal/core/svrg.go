@@ -61,10 +61,16 @@ func TrainSVRG(ctx *engine.Context, parts [][]glm.Example, dim int, prm train.Pa
 	// partials[i] is written by task i's pure closure and consumed by its Run
 	// after the engine's join — the join orders the two.
 	partials := make([][]float64, k)
+	// ref snapshots the synchronized model at the top of each outer step (see
+	// core.Train): the model AllReduce delta-encodes against it when sparse
+	// exchange is on. The snapshot gradient μ uses the nil reference — its
+	// partials compress by their exact-zero coordinates.
+	ref := make([]float64, dim)
 
 	sim.Spawn("driver:mllibstar-svrg", func(p *des.Proc) {
 		ev.Record(0, p.Now(), locals[0])
 		for t := 1; t <= prm.MaxSteps; t++ {
+			copy(ref, locals[0])
 			tasks := make([]engine.Task, k)
 			for i := 0; i < k; i++ {
 				i := i
@@ -97,8 +103,9 @@ func TrainSVRG(ctx *engine.Context, parts [][]glm.Example, dim int, prm train.Pa
 						})
 						ctx.PutVec(partial)
 
-						// (3) Model averaging.
-						allreduce.Average(p, ex, ctx.Cluster.Execs, i, fmt.Sprintf("svrg-w%d", t), local)
+						// (3) Model averaging, delta-encoded against the
+						// step-start snapshot when sparse exchange is on.
+						allreduce.AverageDelta(p, ex, ctx.Cluster.Execs, i, fmt.Sprintf("svrg-w%d", t), local, ref)
 						return nil, 0
 					},
 				}

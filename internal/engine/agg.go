@@ -2,14 +2,30 @@ package engine
 
 import (
 	"fmt"
+	"sort"
 
 	"mllibstar/internal/des"
+	"mllibstar/internal/par"
+	"mllibstar/internal/sparse"
 	"mllibstar/internal/trace"
 	"mllibstar/internal/vec"
 )
 
 // FloatBytes is the wire size of one float64 model coordinate.
 const FloatBytes = 8
+
+// aggMsg is a leaf partial in flight to its group aggregator, tagged with
+// the sender's task index so the aggregator can fold in canonical order.
+type aggMsg struct {
+	from int
+	enc  sparse.Enc
+}
+
+// recvPartial is a decoded group-member partial awaiting the canonical fold.
+type recvPartial struct {
+	from int
+	vals []float64
+}
 
 // TreeAggregateVec runs compute on every executor to produce a partial dense
 // vector of length dim, then aggregates the partials into the driver through
@@ -30,15 +46,39 @@ const FloatBytes = 8
 // when the values are dead. The returned vector is the element-wise sum of
 // all partials. name must be unique per call (it namespaces the shuffle
 // tag); the per-iteration step counter is the natural choice.
+//
+// When internal/sparse is enabled, partials whose nonzero support is small
+// (gradient sums over a mini batch, say) ship as index–value encodings and
+// are decoded back to dense before folding — results are bit-identical to
+// the dense path, only wire bytes and virtual time change.
 func (ctx *Context) TreeAggregateVec(p *des.Proc, name string, dim, aggregators int,
 	payloadBytes float64, compute func(task int) (partial []float64, work float64)) []float64 {
+	return ctx.TreeAggregateVecDelta(p, name, dim, aggregators, payloadBytes, nil, compute)
+}
 
+// TreeAggregateVecDelta is TreeAggregateVec with a reference vector for
+// sparse delta encoding: partials are compressed relative to ref (nil = the
+// zero vector), which must hold identical bits wherever it is read — the
+// SendModel trainers pass the model they broadcast with the task
+// descriptors, against which each executor's locally-refined model is a
+// sparse overlay. ref must not be mutated while the stage runs.
+//
+// The aggregator-to-driver result legs are charged at their encoded size
+// too (the driver holds ref, so a delta-coded reply is decodable there),
+// but the folds themselves always run on dense vectors, in ascending task
+// order — a canonical order shared by the sparse and dense paths, so
+// summation cannot depend on how encoding sizes shift message timing.
+func (ctx *Context) TreeAggregateVecDelta(p *des.Proc, name string, dim, aggregators int,
+	payloadBytes float64, ref []float64, compute func(task int) (partial []float64, work float64)) []float64 {
+
+	if ref != nil && len(ref) != dim {
+		panic(fmt.Sprintf("engine: ref dim %d != %d", len(ref), dim))
+	}
 	k := ctx.NumExecutors()
 	if aggregators <= 0 || aggregators > k {
 		aggregators = k
 	}
 	tag := "agg:" + name
-	vecBytes := float64(dim) * FloatBytes
 
 	// Executor index i belongs to group i%aggregators, whose aggregator is
 	// the executor with index i%aggregators.
@@ -75,22 +115,47 @@ func (ctx *Context) TreeAggregateVec(p *des.Proc, name string, dim, aggregators 
 				partial := partials[i]
 				if !isAgg {
 					// Forward the partial to the group's aggregator and
-					// return an empty result to the driver.
-					ex.Send(p, aggName, tag, vecBytes, partial)
+					// return an empty result to the driver. A sparse
+					// encoding copies the entries, so the pooled partial is
+					// dead at the sender; a dense encoding ships the buffer
+					// itself and the aggregator recycles it after the fold.
+					enc := sparse.EncodeShared(partial, ref)
+					ex.Send(p, aggName, tag, enc.WireBytes(), aggMsg{from: i, enc: enc})
+					if enc.IsSparse() {
+						ctx.pool.Put(partial)
+					}
 					return nil, 0
 				}
-				// Aggregator: fold in the group members' partials. The fold
-				// arithmetic overlaps its own charge on the offload pool;
-				// the source buffer is dead after the fold and recycled.
+				// Aggregator: collect the group members' partials, decoding
+				// each under the same per-message Aggregate charge the dense
+				// engine pays, then fold them in ascending sender order —
+				// the canonical summation order — overlapping the join on
+				// the offload pool. Source buffers are dead after the fold
+				// and recycled.
+				members := make([]recvPartial, 0, groupSize[group]-1)
 				for m := 1; m < groupSize[group]; m++ {
 					msg := ex.Recv(p, tag)
-					src := msg.Payload.([]float64)
+					am := msg.Payload.(aggMsg)
+					var src []float64
 					ex.ChargeAsyncKind(p, float64(dim), trace.Aggregate, name, func() {
-						vec.AddScaled(partial, src, 1)
+						src = am.enc.Dense(ref)
 					})
-					ctx.pool.Put(src)
+					members = append(members, recvPartial{from: am.from, vals: src})
 				}
-				return partial, vecBytes
+				sort.Slice(members, func(a, b int) bool { return members[a].from < members[b].from })
+				h := par.Do(func() {
+					for _, m := range members {
+						vec.AddScaled(partial, m.vals, 1)
+					}
+				})
+				h.Join()
+				for _, m := range members {
+					ctx.pool.Put(m.vals)
+				}
+				// The reply to the driver is charged at its encoded size;
+				// the payload stays the dense sum (the driver folds it
+				// directly, as ever).
+				return partial, sparse.WireBytesFor(partial, ref)
 			},
 		}
 	}

@@ -7,7 +7,13 @@ import (
 )
 
 // Block is one unit of shuffle data in flight from one executor to another
-// during an Exchange.
+// during an Exchange. Bytes is the modeled wire size — what the virtual
+// clock is charged — and may be smaller than the in-memory size of Payload:
+// with sparse model-delta exchange enabled (internal/sparse), a block
+// carrying a mostly-unchanged model costs 12 bytes per changed coordinate
+// instead of 8 per coordinate of the full vector, while Payload still holds
+// the encoding the receiver decodes. The simulation deliberately separates
+// the two: Go data structures are the mechanism, Bytes is the model.
 type Block struct {
 	From    int
 	To      int

@@ -8,6 +8,7 @@ import (
 	"mllibstar/internal/des"
 	"mllibstar/internal/engine"
 	"mllibstar/internal/glm"
+	"mllibstar/internal/sparse"
 	"mllibstar/internal/trace"
 	"mllibstar/internal/train"
 	"mllibstar/internal/vec"
@@ -106,14 +107,13 @@ func trainTree(ctx *engine.Context, parts [][]glm.Example, dim int, cfg DistConf
 		aggs = int(math.Ceil(math.Sqrt(float64(k))))
 	}
 	driver := ctx.Cluster.Net.Node(ctx.Cluster.Driver)
-	modelBytes := float64(dim) * engine.FloatBytes
 
 	// gradStage aggregates [Σ∇l ; Σl] for the given model. The gradient and
 	// loss passes run as the task's pure closure over pooled buffers; g is
 	// copied out of the pooled sum so the buffer can be recycled while the
 	// optimizer state retains the gradient.
 	gradStage := func(p *des.Proc, tag string, w []float64) (g []float64, f float64) {
-		sum := ctx.TreeAggregateVec(p, tag, dim+1, aggs, modelBytes,
+		sum := ctx.TreeAggregateVec(p, tag, dim+1, aggs, sparse.WireBytesFor(w, nil),
 			func(i int) ([]float64, float64) {
 				out := ctx.GetVec(dim + 1)
 				work := cfg.Objective.AddGradient(w, parts[i], out[:dim])
@@ -130,7 +130,7 @@ func trainTree(ctx *engine.Context, parts [][]glm.Example, dim int, cfg DistConf
 	// lossStage evaluates only the objective (cheaper result, same
 	// broadcast) for line-search trials.
 	lossStage := func(p *des.Proc, tag string, w []float64) float64 {
-		sum := ctx.TreeAggregateVec(p, tag, 1, aggs, modelBytes,
+		sum := ctx.TreeAggregateVec(p, tag, 1, aggs, sparse.WireBytesFor(w, nil),
 			func(i int) ([]float64, float64) {
 				out := ctx.GetVec(1)
 				out[0] = cfg.Objective.LossSum(w, parts[i])

@@ -17,6 +17,7 @@ import (
 	"mllibstar/internal/glm"
 	"mllibstar/internal/mllib"
 	"mllibstar/internal/opt"
+	"mllibstar/internal/sparse"
 	"mllibstar/internal/trace"
 	"mllibstar/internal/train"
 	"mllibstar/internal/vec"
@@ -47,7 +48,6 @@ func Train(ctx *engine.Context, parts [][]glm.Example, dim int, prm train.Params
 
 	res := &train.Result{System: System, Curve: ev.Curve}
 	w := make([]float64, dim)
-	modelBytes := float64(dim) * engine.FloatBytes
 	// Per-task optimizer scratch, reused across steps. Task i's closure for
 	// step t+1 cannot start before step t's stage barrier, so each slot is
 	// touched by one closure at a time.
@@ -60,7 +60,11 @@ func Train(ctx *engine.Context, parts [][]glm.Example, dim int, prm train.Params
 		ev.Record(0, p.Now(), w)
 		for t := 1; t <= prm.MaxSteps; t++ {
 			stepW := w
-			sum := ctx.TreeAggregateVec(p, fmt.Sprintf("ma%d", t), dim, aggs, modelBytes,
+			// The task descriptors broadcast stepW; with sparse exchange on,
+			// the broadcast is charged at the model's nonzero-coded size, and
+			// the local models ship back as deltas against stepW — the
+			// reference every endpoint of this stage holds.
+			sum := ctx.TreeAggregateVecDelta(p, fmt.Sprintf("ma%d", t), dim, aggs, sparse.WireBytesFor(stepW, nil), stepW,
 				func(i int) ([]float64, float64) {
 					local := ctx.GetVec(dim)
 					copy(local, stepW)

@@ -20,6 +20,7 @@ import (
 	"mllibstar/internal/detrand"
 	"mllibstar/internal/engine"
 	"mllibstar/internal/glm"
+	"mllibstar/internal/sparse"
 	"mllibstar/internal/trace"
 	"mllibstar/internal/train"
 	"mllibstar/internal/vec"
@@ -67,16 +68,20 @@ func Train(ctx *engine.Context, parts [][]glm.Example, dim int, prm train.Params
 
 	res := &train.Result{System: System, Curve: ev.Curve}
 	w := make([]float64, dim)
-	modelBytes := float64(dim) * engine.FloatBytes
 
 	sim.Spawn("driver:mllib", func(p *des.Proc) {
 		ev.Record(0, p.Now(), w)
 		for t := 1; t <= prm.MaxSteps; t++ {
 			stepW := w // tasks read, never write, the current model
-			payload := modelBytes
+			// With sparse exchange on, the model broadcast is charged at its
+			// nonzero-coded size and the gradient partials (whose support is
+			// the mini batch's) ship compressed back through the tree.
+			payload := sparse.WireBytesFor(stepW, nil)
 			if prm.TorrentBroadcast {
 				// Chunked broadcast in its own stage; the gradient stage
-				// then ships only task descriptors.
+				// then ships only task descriptors. The chunks stay dense —
+				// BitTorrent-style chunking already shares the load, and the
+				// chunk protocol is outside the sparse layer.
 				ctx.BroadcastVec(p, fmt.Sprintf("bc%d", t), dim, true)
 				payload = 0
 			}

@@ -1,8 +1,12 @@
-// Package prof wires the standard Go profiling endpoints and the offload
-// switch into the repository's CLIs: -par (the deterministic compute-offload
-// pool), -cpuprofile, -memprofile, and -trace. Results are bit-identical
+// Package prof wires the standard Go profiling endpoints and the engine
+// switches into the repository's CLIs: -par (the deterministic
+// compute-offload pool), -sparse (SparCML-style sparse model-delta
+// exchange), -cpuprofile, -memprofile, and -trace. Results are bit-identical
 // with -par on or off — the flag only changes wall-clock behaviour — which
-// is what makes before/after profiles of the same run comparable.
+// is what makes before/after profiles of the same run comparable. -sparse
+// keeps every training numeric bit-identical too, but shrinks simulated
+// communication bytes and therefore virtual time (that is its point), so
+// compare simulated timings only within one -sparse setting.
 package prof
 
 import (
@@ -15,12 +19,14 @@ import (
 	"strconv"
 
 	"mllibstar/internal/par"
+	"mllibstar/internal/sparse"
 )
 
 // Config holds the parsed flag values. Obtain one with Register, then call
 // Start after flag.Parse.
 type Config struct {
 	par     onOff
+	sparse  onOff
 	workers *int
 	cpu     *string
 	mem     *string
@@ -59,6 +65,7 @@ func (v *onOff) IsBoolFlag() bool { return true }
 func Register(fs *flag.FlagSet) *Config {
 	c := &Config{par: true}
 	fs.Var(&c.par, "par", "run pure numeric closures on the offload pool: on or off (bit-identical results; falls back to inline when GOMAXPROCS=1)")
+	fs.Var(&c.sparse, "sparse", "delta-encode model exchange when the nonzero coding is smaller: on or off (bit-identical numerics; changes simulated bytes and time)")
 	c.workers = fs.Int("parworkers", 0, "offload pool size (0 = GOMAXPROCS)")
 	c.cpu = fs.String("cpuprofile", "", "write a CPU profile to this file")
 	c.mem = fs.String("memprofile", "", "write a heap profile to this file on exit")
@@ -71,6 +78,7 @@ func Register(fs *flag.FlagSet) *Config {
 // the process exits (normally via defer in main).
 func (c *Config) Start() (stop func(), err error) {
 	par.Configure(bool(c.par), *c.workers)
+	sparse.Configure(bool(c.sparse))
 
 	var cpuFile, traceFile *os.File
 	if *c.cpu != "" {

@@ -12,6 +12,13 @@
 //
 // All sends and receives are accounted, so experiments can assert traffic
 // invariants such as the paper's "2·k·m bytes per communication step".
+//
+// Message sizes are whatever the sender charges, not the in-memory size of
+// the Go payload: with sparse model-delta exchange enabled
+// (internal/sparse), model messages are charged at their index–value
+// encoded size (12·nnz instead of 8·m bytes), so simulated traffic and
+// virtual time reflect the compression while the payload Go slices are
+// untouched. See ARCHITECTURE.md for the full byte-accounting rules.
 package simnet
 
 import (

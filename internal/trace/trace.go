@@ -91,6 +91,14 @@ func (r *Recorder) Spans() []Span {
 	return r.spans
 }
 
+// Markers returns all recorded markers in insertion order.
+func (r *Recorder) Markers() []Marker {
+	if r == nil {
+		return nil
+	}
+	return r.markers
+}
+
 // Horizon returns the largest span end time recorded.
 func (r *Recorder) Horizon() float64 {
 	if r == nil {
@@ -254,7 +262,7 @@ func (r *Recorder) RenderASCII(width int) string {
 	for _, n := range nodes {
 		fmt.Fprintf(&b, "%*s  %s\n", nameW, n, rows[n])
 	}
-	b.WriteString("legend: C=compute s=send r=recv A=aggregate U=update .=barrier-wait #=stage |=marker\n")
+	b.WriteString("legend: computation[C=compute A=aggregate U=update] communication[s=send r=recv] other[.=barrier-wait #=stage-scheduling |=marker]\n")
 	return b.String()
 }
 

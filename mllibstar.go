@@ -345,3 +345,11 @@ func NewTrace() *trace.Recorder { return trace.New() }
 // width, one row per cluster node — the visualization of the paper's
 // Figure 3.
 func RenderGantt(rec *trace.Recorder, width int) string { return rec.RenderASCII(width) }
+
+// RenderGanttSVG renders a recorded trace as an SVG gantt chart with the
+// documented kind palette: cool hues for computation, warm hues for
+// communication, and a legend labeling the two families (see
+// internal/metrics for the exact scheme).
+func RenderGanttSVG(rec *trace.Recorder, title string, width int) string {
+	return metrics.RenderGanttSVG(rec, title, width)
+}
