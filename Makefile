@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint fuzz bench bench-smoke docs check clean
+.PHONY: build test race lint fuzz bench bench-smoke obs docs check clean
 
 build: ## compile everything
 	$(GO) build ./...
@@ -17,17 +17,26 @@ race: ## unit tests under the race detector
 lint: ## go vet + the repo's own analyzers (internal/analysis)
 	$(GO) run ./cmd/mlstar-lint ./...
 
-fuzz: ## short fuzz runs: libsvm reader + sparse encoding round-trip
+fuzz: ## short fuzz runs: libsvm reader + sparse encoding + telemetry event round-trips
 	$(GO) test -fuzz=FuzzReadLibSVM -fuzztime=10s ./internal/data
 	$(GO) test -fuzz=FuzzRoundTrip -fuzztime=10s ./internal/sparse
+	$(GO) test -fuzz=FuzzEventRoundTrip -fuzztime=10s ./internal/obs
 
-bench: ## wall-clock benchmarks (offload on/off, sparse on/off, kernels) -> BENCH_3.json
+bench: ## wall-clock benchmarks (offload on/off, sparse on/off, obs on/off, kernels) -> BENCH_4.json
 	$(GO) test -bench 'BenchmarkWallClock' -run '^$$' -benchmem ./internal/bench \
-		| tee /dev/stderr | $(GO) run ./cmd/mlstar-benchjson -out BENCH_3.json
+		| tee /dev/stderr | $(GO) run ./cmd/mlstar-benchjson -out BENCH_4.json
 
 bench-smoke: ## one-iteration benchmark pass + bit-identity tests
 	$(GO) test -bench 'BenchmarkWallClock' -benchtime=1x -run '^$$' -benchmem ./internal/bench
-	$(GO) test -run 'TestParallelOffload|TestKernelAllocReduction|TestSparse' -v ./internal/bench
+	$(GO) test -run 'TestParallelOffload|TestKernelAllocReduction|TestSparse|TestObs' -v ./internal/bench
+
+obs: ## replay the committed sample event logs and diff against the golden reports
+	$(GO) run ./cmd/mlstar-obs -in internal/bench/testdata/obs_events_mllib.jsonl > obs_report_mllib.txt
+	diff -u internal/bench/testdata/obs_report_mllib.golden obs_report_mllib.txt
+	$(GO) run ./cmd/mlstar-obs -in internal/bench/testdata/obs_events_mllibstar.jsonl > obs_report_mllibstar.txt
+	diff -u internal/bench/testdata/obs_report_mllibstar.golden obs_report_mllibstar.txt
+	@rm -f obs_report_mllib.txt obs_report_mllibstar.txt
+	@echo "obs: replayed reports match the goldens"
 
 docs: ## check ARCHITECTURE/README/EXPERIMENTS: intra-repo links + quoted commands
 	$(GO) test -run 'TestDocs' -v ./...

@@ -3,7 +3,7 @@
 // on a benchmark line is captured — the standard ns/op, B/op, allocs/op
 // plus any custom b.ReportMetric units (commbytes/op, simsec/op, ...).
 //
-// Two derived tables are emitted from paired sub-runs:
+// Derived tables are emitted from paired sub-runs:
 //
 //   - speedup_par_vs_seq: ns/op(par=off) / ns/op(par=on) for benchmarks
 //     with offload-mode sub-runs; >1 means the offload pool won.
@@ -12,10 +12,14 @@
 //     model-delta encoding shrank the simulated traffic. The companion
 //     sim_speedup_sparse is the same ratio for simsec/op — the virtual-time
 //     win the byte accounting buys.
+//   - obs_overhead: ns/op(obs=on) / ns/op(obs=off) for benchmarks with
+//     telemetry sub-runs — the wall-clock price of recording the structured
+//     event log (results are bit-identical either way). The companion
+//     obs_events_per_op is the obs=on sub-run's obsevents/op metric.
 //
 // Usage:
 //
-//	go test -bench 'BenchmarkWallClock' -benchmem ./internal/bench | mlstar-benchjson -out BENCH_3.json
+//	go test -bench 'BenchmarkWallClock' -benchmem ./internal/bench | mlstar-benchjson -out BENCH_4.json
 package main
 
 import (
@@ -56,6 +60,15 @@ type artifact struct {
 	// SimSpeedupSparse is the matching simsec/op ratio: how much faster the
 	// simulated clock runs once messages are delta-coded.
 	SimSpeedupSparse map[string]float64 `json:"sim_speedup_sparse,omitempty"`
+	// ObsOverhead maps a benchmark's base name to ns/op(obs=on) /
+	// ns/op(obs=off) for benchmarks with telemetry sub-runs: the wall-clock
+	// price of recording the structured event log (results are bit-identical
+	// either way, so this is pure recording cost). ~1 means free.
+	ObsOverhead map[string]float64 `json:"obs_overhead,omitempty"`
+	// ObsEventsPerOp maps the same base names to the obsevents/op custom
+	// metric of the obs=on sub-run: how many structured events one run of
+	// the benchmark workload generates.
+	ObsEventsPerOp map[string]float64 `json:"obs_events_per_op,omitempty"`
 }
 
 // benchPrefix matches the name and iteration count of a result row; the
@@ -66,7 +79,7 @@ var benchPrefix = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.*)$`)
 var cpuSuffix = regexp.MustCompile(`-\d+$`)
 
 func main() {
-	out := flag.String("out", "BENCH_3.json", "output JSON path")
+	out := flag.String("out", "BENCH_4.json", "output JSON path")
 	flag.Parse()
 
 	art, err := parse(bufio.NewScanner(os.Stdin))
@@ -134,6 +147,20 @@ func parse(sc *bufio.Scanner) (*artifact, error) {
 		func(r benchResult) float64 { return r.Metrics["commbytes/op"] })
 	art.SimSpeedupSparse = ratios(art.Benchmarks, "/sparse=off", "/sparse=on",
 		func(r benchResult) float64 { return r.Metrics["simsec/op"] })
+	// Overhead is on/off, so the suffix roles are swapped relative to the
+	// speedup tables.
+	art.ObsOverhead = ratios(art.Benchmarks, "/obs=on", "/obs=off",
+		func(r benchResult) float64 { return r.NsPerOp })
+	for _, r := range art.Benchmarks {
+		base, ok := strings.CutSuffix(r.Name, "/obs=on")
+		if !ok || r.Metrics["obsevents/op"] <= 0 {
+			continue
+		}
+		if art.ObsEventsPerOp == nil {
+			art.ObsEventsPerOp = map[string]float64{}
+		}
+		art.ObsEventsPerOp[base] = r.Metrics["obsevents/op"]
+	}
 	return art, nil
 }
 

@@ -1,8 +1,7 @@
 // Command mlstar-lint is the repository's lint gate: it runs go vet plus
 // the project-specific analyzers (determinism, vecalias, floateq,
-// errdiscard, gocapture, pkgdoc) over the given package patterns and exits
-// non-zero
-// on any finding.
+// errdiscard, gocapture, obspure, pkgdoc) over the given package patterns
+// and exits non-zero on any finding.
 //
 // Usage:
 //
@@ -30,6 +29,7 @@ import (
 	"mllibstar/internal/analysis/floateq"
 	"mllibstar/internal/analysis/gocapture"
 	"mllibstar/internal/analysis/loader"
+	"mllibstar/internal/analysis/obspure"
 	"mllibstar/internal/analysis/pkgdoc"
 	"mllibstar/internal/analysis/vecalias"
 )
@@ -41,6 +41,7 @@ var analyzers = []*analysis.Analyzer{
 	floateq.Analyzer,
 	errdiscard.Analyzer,
 	gocapture.Analyzer,
+	obspure.Analyzer,
 	pkgdoc.Analyzer,
 }
 

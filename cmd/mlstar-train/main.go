@@ -14,6 +14,7 @@ import (
 	"os"
 
 	"mllibstar"
+	"mllibstar/internal/prof"
 )
 
 func main() {
@@ -40,7 +41,14 @@ func main() {
 		csvOut   = flag.String("csv", "", "write the convergence curve CSV to this file")
 		gantt    = flag.Bool("gantt", false, "print an ASCII gantt chart of the run")
 	)
+	pc := prof.Register(flag.CommandLine)
 	flag.Parse()
+	stop, err := pc.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer stop()
 
 	ds, err := loadDataset(*preset, *scale, *dataPath)
 	if err != nil {

@@ -51,6 +51,10 @@ type piece struct {
 	enc  sparse.Enc
 }
 
+// IsSparse reports the wire encoding of the carried partition, so telemetry
+// books the message under the right encoding (see obs.EncodingOf).
+func (pc piece) IsSparse() bool { return pc.enc.IsSparse() }
+
 // Average replaces local, in place, with the element-wise average of the
 // local vectors across all executors. It must be called from within the
 // same stage on every executor in execs, with self the caller's index and a
@@ -135,8 +139,15 @@ func reduceScatterGather(p *des.Proc, ex *engine.Executor, execs []string, self 
 			vec.Scale(own, 1/float64(k))
 		}
 	})
-	for range blocks {
-		ex.ChargeKind(p, float64(hi-lo), trace.Aggregate, name)
+	// A sparse-encoded chunk's charge models its decode, so it is traced as
+	// Encode; dense chunks keep the Aggregate kind. The charges themselves
+	// replay the arrival sequence either way.
+	for _, b := range blocks {
+		kind := trace.Aggregate
+		if b.Payload.(sparse.Enc).IsSparse() {
+			kind = trace.Encode
+		}
+		ex.ChargeKind(p, float64(hi-lo), kind, name)
 	}
 	h.Join()
 
@@ -171,7 +182,11 @@ func reduceScatterGather(p *des.Proc, ex *engine.Executor, execs []string, self 
 	for _, b := range gathered {
 		pc := b.Payload.(piece)
 		plo, phi := vec.PartitionRange(dim, k, pc.from)
-		ex.ChargeKind(p, float64(phi-plo), trace.Update, name)
+		kind := trace.Update
+		if pc.enc.IsSparse() {
+			kind = trace.Encode
+		}
+		ex.ChargeKind(p, float64(phi-plo), kind, name)
 	}
 	h.Join()
 }

@@ -51,6 +51,7 @@ var Analyzer = &analysis.Analyzer{
 		"mllibstar/internal/mavg",
 		"mllibstar/internal/metrics",
 		"mllibstar/internal/mllib",
+		"mllibstar/internal/obs",
 		"mllibstar/internal/opt",
 		"mllibstar/internal/petuum",
 		"mllibstar/internal/ps",

@@ -1,0 +1,125 @@
+// Package obspure implements the telemetry-purity lint: code offloaded to
+// the deterministic compute pool must not touch the obs telemetry layer.
+//
+// Offloaded closures — Task.Pure bodies, the fn argument of
+// ComputeAsyncKind/ChargeAsync/ChargeAsyncKind, and thunks handed to
+// par.Go/par.Do — run on worker goroutines whose interleaving is
+// scheduler-dependent. The obs sink is mutex-protected, so an obs call from
+// such a closure would not race, but it would append events in wall-clock
+// completion order and break the event log's determinism (and with it the
+// replay, golden-file, and parity guarantees). Telemetry must be emitted
+// from the simulation thread, where virtual time is well defined; the
+// analyzer enforces that statically instead of leaving it to code review.
+package obspure
+
+import (
+	"go/ast"
+
+	"mllibstar/internal/analysis"
+)
+
+// obsPath is the package whose calls are forbidden in offloaded closures.
+const obsPath = "mllibstar/internal/obs"
+
+// parPath is the compute pool package whose Go/Do accept offloaded thunks.
+const parPath = "mllibstar/internal/par"
+
+// offloadFuncs are the method/function names whose func-literal arguments
+// execute on pool goroutines. The names are unique to the offload API, so
+// matching by name (plus package for par.Go/par.Do, whose names are
+// generic) keeps the check robust across the engine and simnet layers.
+var offloadFuncs = map[string]bool{
+	"ComputeAsyncKind": true,
+	"ChargeAsync":      true,
+	"ChargeAsyncKind":  true,
+}
+
+// Analyzer is the telemetry-purity check.
+var Analyzer = &analysis.Analyzer{
+	Name: "obspure",
+	Doc:  "forbid obs telemetry calls inside offloaded closures (Task.Pure, ComputeAsyncKind, par.Go/Do)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg != nil && pass.Pkg.Path() == obsPath {
+		return nil // the telemetry package may of course call itself
+	}
+	pass.Inspect(func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CompositeLit:
+			// Task{Pure: func() float64 { ... }} and friends.
+			for _, elt := range n.Elts {
+				kv, ok := elt.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "Pure" {
+					if lit, ok := ast.Unparen(kv.Value).(*ast.FuncLit); ok {
+						checkOffloaded(pass, lit, "Task.Pure closure")
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			// t.Pure = func() float64 { ... }
+			for i, lhs := range n.Lhs {
+				sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+				if !ok || sel.Sel.Name != "Pure" || i >= len(n.Rhs) {
+					continue
+				}
+				if lit, ok := ast.Unparen(n.Rhs[i]).(*ast.FuncLit); ok {
+					checkOffloaded(pass, lit, "Task.Pure closure")
+				}
+			}
+		case *ast.CallExpr:
+			name, isOffload := offloadCallee(pass, n)
+			if !isOffload {
+				return true
+			}
+			for _, arg := range n.Args {
+				if lit, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+					checkOffloaded(pass, lit, name+" closure")
+				}
+			}
+		}
+		return true
+	})
+	return nil
+}
+
+// offloadCallee reports whether call hands func-literal arguments to pool
+// goroutines, returning a human-readable callee name for the diagnostic.
+func offloadCallee(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	fn := analysis.FuncOf(pass.TypesInfo, call)
+	if fn == nil {
+		return "", false
+	}
+	if offloadFuncs[fn.Name()] {
+		return fn.Name(), true
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == parPath && (fn.Name() == "Go" || fn.Name() == "Do") {
+		return "par." + fn.Name(), true
+	}
+	return "", false
+}
+
+// checkOffloaded reports every outermost obs call in the offloaded body.
+// Chained calls like obs.Active().Span(...) yield one diagnostic, on the
+// outer call; nested closures inside the body are offloaded transitively
+// and are walked too.
+func checkOffloaded(pass *analysis.Pass, lit *ast.FuncLit, where string) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := analysis.FuncOf(pass.TypesInfo, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != obsPath {
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"obs.%s called inside %s: offloaded code runs on pool goroutines in wall-clock order, so telemetry from it is nondeterministic; emit events from the simulation thread instead",
+			fn.Name(), where)
+		return false // the receiver chain is part of the reported call
+	})
+}

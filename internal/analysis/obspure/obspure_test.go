@@ -1,0 +1,12 @@
+package obspure_test
+
+import (
+	"testing"
+
+	"mllibstar/internal/analysis/analysistest"
+	"mllibstar/internal/analysis/obspure"
+)
+
+func TestObspure(t *testing.T) {
+	analysistest.Run(t, "testdata/src/a", obspure.Analyzer)
+}

@@ -1,0 +1,92 @@
+// Corpus for the obspure analyzer: telemetry calls inside offloaded
+// closures (Task.Pure fields and assignments, ComputeAsyncKind/ChargeAsync
+// arguments, par.Go/par.Do thunks) are flagged, including transitively
+// through nested literals and through the obs.Active() chain; telemetry on
+// the simulation thread and offloaded closures without telemetry are clean.
+package a
+
+import (
+	"mllibstar/internal/obs"
+	"mllibstar/internal/par"
+)
+
+// task mirrors engine.Task's offload contract; the analyzer matches the
+// Pure field by name, not by the defining package.
+type task struct {
+	Pure func() float64
+}
+
+// ComputeAsyncKind mirrors the simnet/engine offload entry points, which
+// are matched by their (unique) names.
+func ComputeAsyncKind(work float64, note string, fn func()) { fn() }
+
+// ChargeAsync mirrors engine.Executor.ChargeAsync.
+func ChargeAsync(work float64, fn func()) { fn() }
+
+func inTaskLiteral() task {
+	return task{
+		Pure: func() float64 {
+			obs.Active().Span("n", obs.PhaseCompute, 0, 1, "") // want `obs\.Span called inside Task\.Pure closure`
+			return 1
+		},
+	}
+}
+
+func inPureAssignment() {
+	var t task
+	t.Pure = func() float64 {
+		obs.Active().Updates(1, "n", 1, 0) // want `obs\.Updates called inside Task\.Pure closure`
+		return 0
+	}
+	_ = t
+}
+
+func inComputeAsyncKind() {
+	ComputeAsyncKind(100, "agg", func() {
+		obs.Active().SetStep(3, 0.5) // want `obs\.SetStep called inside ComputeAsyncKind closure`
+	})
+}
+
+func inChargeAsync() {
+	ChargeAsync(100, func() {
+		obs.Enable() // want `obs\.Enable called inside ChargeAsync closure`
+	})
+}
+
+func inParGo() {
+	h := par.Go(func() float64 {
+		obs.Active().Meta("k", "v") // want `obs\.Meta called inside par\.Go closure`
+		return 0
+	})
+	_ = h.Join()
+}
+
+func inParDoNested() {
+	par.Do(func() {
+		inner := func() {
+			obs.Disable() // want `obs\.Disable called inside par\.Do closure`
+		}
+		inner()
+	})
+}
+
+// Clean: telemetry from the simulation thread is exactly what obs is for.
+func onSimThread() {
+	obs.Active().SetStep(1, 0)
+	obs.Active().Span("driver", obs.PhaseCompute, 0, 1, "")
+}
+
+// Clean: offloaded closures that stay numeric.
+func pureIsPure() task {
+	return task{Pure: func() float64 { return 2 }}
+}
+
+// Clean: a lowercase helper is not an offload entry point, so its closure
+// runs on the caller's (simulation) goroutine.
+func notOffload(fn func()) { fn() }
+
+func inPlainHelper() {
+	notOffload(func() {
+		obs.Active().Meta("k", "v")
+	})
+}

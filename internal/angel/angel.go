@@ -19,6 +19,7 @@ import (
 	"mllibstar/internal/des"
 	"mllibstar/internal/detrand"
 	"mllibstar/internal/glm"
+	"mllibstar/internal/obs"
 	"mllibstar/internal/opt"
 	"mllibstar/internal/ps"
 	"mllibstar/internal/simnet"
@@ -57,6 +58,7 @@ func Train(sim *des.Sim, net *simnet.Network, nodeNames []string, parts [][]glm.
 	}
 
 	ev := train.NewEvaluator(System, dataset, prm.Objective, evalData, prm.EvalEvery)
+	ev.Staleness = prm.Staleness
 	res := &train.Result{System: System, Curve: ev.Curve}
 	sched := prm.Schedule()
 	_, regIsNone := prm.Objective.Reg.(glm.None)
@@ -71,6 +73,11 @@ func Train(sim *des.Sim, net *simnet.Network, nodeNames []string, parts [][]glm.
 			scratch := make([]float64, dim)
 			jitter := detrand.Worker(prm.Seed, r)
 			for t := 1; t <= prm.MaxSteps && !stop; t++ {
+				if r == 0 {
+					// Step attribution for the event log follows worker 0's
+					// clock; other workers drift within the SSP slack.
+					obs.Active().SetStep(t, p.Now())
+				}
 				w := deploy.Pull(p, node.Name(), r, t-1)
 				if r == 0 {
 					if obj, recorded := ev.Record(t-1, p.Now(), w); recorded {
@@ -119,6 +126,7 @@ func Train(sim *des.Sim, net *simnet.Network, nodeNames []string, parts [][]glm.
 					delta = local
 				})
 				res.Updates += int64(batches)
+				obs.Active().Updates(t, node.Name(), int64(batches), p.Now())
 				deploy.Push(p, node.Name(), r, t, delta)
 			}
 			if r == 0 && !stop {

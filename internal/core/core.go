@@ -20,6 +20,7 @@ import (
 	"mllibstar/internal/des"
 	"mllibstar/internal/engine"
 	"mllibstar/internal/glm"
+	"mllibstar/internal/obs"
 	"mllibstar/internal/opt"
 	"mllibstar/internal/train"
 	"mllibstar/internal/vec"
@@ -79,6 +80,7 @@ func Train(ctx *engine.Context, parts [][]glm.Example, dim int, prm train.Params
 	sim.Spawn("driver:mllibstar", func(p *des.Proc) {
 		ev.Record(0, p.Now(), locals[0])
 		for t := 1; t <= prm.MaxSteps; t++ {
+			obs.Active().SetStep(t, p.Now())
 			copy(ref, locals[0])
 			tasks := make([]engine.Task, k)
 			for i := 0; i < k; i++ {
@@ -122,9 +124,12 @@ func Train(ctx *engine.Context, parts [][]glm.Example, dim int, prm train.Params
 				}
 			}
 			ctx.RunStage(p, fmt.Sprintf("mllibstar-%d", t), tasks)
+			var stepUpdates int64
 			for i := range parts {
-				res.Updates += int64(prm.LocalPasses * len(parts[i]))
+				stepUpdates += int64(prm.LocalPasses * len(parts[i]))
 			}
+			res.Updates += stepUpdates
+			obs.Active().Updates(t, "", stepUpdates, p.Now())
 
 			res.CommSteps = t
 			// After AllReduce all locals hold the identical averaged model.

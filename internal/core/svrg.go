@@ -7,6 +7,7 @@ import (
 	"mllibstar/internal/des"
 	"mllibstar/internal/engine"
 	"mllibstar/internal/glm"
+	"mllibstar/internal/obs"
 	"mllibstar/internal/opt"
 	"mllibstar/internal/train"
 	"mllibstar/internal/vec"
@@ -70,6 +71,7 @@ func TrainSVRG(ctx *engine.Context, parts [][]glm.Example, dim int, prm train.Pa
 	sim.Spawn("driver:mllibstar-svrg", func(p *des.Proc) {
 		ev.Record(0, p.Now(), locals[0])
 		for t := 1; t <= prm.MaxSteps; t++ {
+			obs.Active().SetStep(t, p.Now())
 			copy(ref, locals[0])
 			tasks := make([]engine.Task, k)
 			for i := 0; i < k; i++ {
@@ -111,9 +113,12 @@ func TrainSVRG(ctx *engine.Context, parts [][]glm.Example, dim int, prm train.Pa
 				}
 			}
 			ctx.RunStage(p, fmt.Sprintf("svrg-%d", t), tasks)
+			var stepUpdates int64
 			for i := range parts {
-				res.Updates += int64(len(parts[i]))
+				stepUpdates += int64(len(parts[i]))
 			}
+			res.Updates += stepUpdates
+			obs.Active().Updates(t, "", stepUpdates, p.Now())
 
 			res.CommSteps = t
 			if obj, recorded := ev.Record(t, p.Now(), locals[0]); recorded {

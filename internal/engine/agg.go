@@ -21,6 +21,10 @@ type aggMsg struct {
 	enc  sparse.Enc
 }
 
+// IsSparse reports the wire encoding of the carried partial, so telemetry
+// books the message under the right encoding (see obs.EncodingOf).
+func (m aggMsg) IsSparse() bool { return m.enc.IsSparse() }
+
 // recvPartial is a decoded group-member partial awaiting the canonical fold.
 type recvPartial struct {
 	from int
@@ -136,8 +140,15 @@ func (ctx *Context) TreeAggregateVecDelta(p *des.Proc, name string, dim, aggrega
 				for m := 1; m < groupSize[group]; m++ {
 					msg := ex.Recv(p, tag)
 					am := msg.Payload.(aggMsg)
+					// A sparse-encoded partial's per-message charge models
+					// the decode, so it is traced as Encode; the dense path
+					// keeps the Aggregate kind (the charge is the fold).
+					kind := trace.Aggregate
+					if am.enc.IsSparse() {
+						kind = trace.Encode
+					}
 					var src []float64
-					ex.ChargeAsyncKind(p, float64(dim), trace.Aggregate, name, func() {
+					ex.ChargeAsyncKind(p, float64(dim), kind, name, func() {
 						src = am.enc.Dense(ref)
 					})
 					members = append(members, recvPartial{from: am.from, vals: src})

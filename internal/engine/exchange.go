@@ -21,6 +21,16 @@ type Block struct {
 	Payload any
 }
 
+// IsSparse reports whether the carried payload is a sparse wire encoding,
+// so telemetry books the shuffle message under the right encoding (see
+// obs.EncodingOf).
+func (b Block) IsSparse() bool {
+	if s, ok := b.Payload.(interface{ IsSparse() bool }); ok {
+		return s.IsSparse()
+	}
+	return false
+}
+
 // Exchange is the engine's generic all-to-all shuffle round, the primitive
 // the paper implements AllReduce on ("we use the shuffle operator in
 // Spark"). It must be called from within the same stage on every executor:

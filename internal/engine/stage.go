@@ -6,6 +6,7 @@ import (
 
 	"mllibstar/internal/des"
 	"mllibstar/internal/detrand"
+	"mllibstar/internal/obs"
 	"mllibstar/internal/par"
 	"mllibstar/internal/trace"
 	"mllibstar/internal/vec"
@@ -83,7 +84,8 @@ func (ctx *Context) RunStage(p *des.Proc, name string, tasks []Task) []any {
 	replyTag := fmt.Sprintf("res:%d", ctx.stageSeq)
 	driver := ctx.Cluster.Net.Node(ctx.Cluster.Driver)
 	rec := ctx.Cluster.Net.Recorder()
-	rec.Mark(p.Now(), "stage "+name+" start")
+	stageStart := p.Now()
+	rec.Mark(stageStart, "stage "+name+" start")
 
 	// Offload prefetch: submit every task's pure closure before the first
 	// task message leaves the driver. The stage's tasks are concurrently
@@ -140,6 +142,7 @@ func (ctx *Context) RunStage(p *des.Proc, name string, tasks []Task) []any {
 		}
 	}
 	rec.Mark(p.Now(), "stage "+name+" end")
+	obs.Active().Stage(ctx.Cluster.Driver, name, stageStart, p.Now())
 	return results
 }
 

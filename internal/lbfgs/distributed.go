@@ -8,6 +8,7 @@ import (
 	"mllibstar/internal/des"
 	"mllibstar/internal/engine"
 	"mllibstar/internal/glm"
+	"mllibstar/internal/obs"
 	"mllibstar/internal/sparse"
 	"mllibstar/internal/trace"
 	"mllibstar/internal/train"
@@ -148,6 +149,7 @@ func trainTree(ctx *engine.Context, parts [][]glm.Example, dim int, cfg DistConf
 		g, f := gradStage(p, "lb0", w)
 		st.Update(w, g)
 		for it := 1; it <= cfg.MaxIters; it++ {
+			obs.Active().SetStep(it, p.Now())
 			if math.Sqrt(vec.Norm2Sq(g)) < gradTolerance {
 				break
 			}
@@ -182,6 +184,7 @@ func trainTree(ctx *engine.Context, parts [][]glm.Example, dim int, cfg DistConf
 			st.Update(w, g)
 			res.CommSteps = it
 			res.Updates++
+			obs.Active().Updates(it, ctx.Cluster.Driver, 1, p.Now())
 			if obj, recorded := ev.Record(it, p.Now(), w); recorded {
 				if cfg.TargetObjective > 0 && obj <= cfg.TargetObjective {
 					break
@@ -304,6 +307,7 @@ func trainAllReduce(ctx *engine.Context, parts [][]glm.Example, dim int, cfg Dis
 	ctx.Cluster.Sim.Spawn("driver:lbfgsstar", func(p *des.Proc) {
 		ev.Record(0, p.Now(), w)
 		for it := 1; it <= cfg.MaxIters && !done; it++ {
+			obs.Active().SetStep(it, p.Now())
 			bar := des.NewBarrier(ctx.Cluster.Sim, fmt.Sprintf("lbfgs-it%d", it), k)
 			tasks := make([]engine.Task, k)
 			for i := 0; i < k; i++ {
@@ -322,6 +326,7 @@ func trainAllReduce(ctx *engine.Context, parts [][]glm.Example, dim int, cfg Dis
 			}
 			res.CommSteps = it
 			res.Updates++
+			obs.Active().Updates(it, "", 1, p.Now())
 			if obj, recorded := ev.Record(it, p.Now(), w); recorded {
 				if cfg.TargetObjective > 0 && obj <= cfg.TargetObjective {
 					break

@@ -16,6 +16,7 @@ import (
 	"mllibstar/internal/engine"
 	"mllibstar/internal/glm"
 	"mllibstar/internal/mllib"
+	"mllibstar/internal/obs"
 	"mllibstar/internal/opt"
 	"mllibstar/internal/sparse"
 	"mllibstar/internal/trace"
@@ -59,6 +60,7 @@ func Train(ctx *engine.Context, parts [][]glm.Example, dim int, prm train.Params
 	sim.Spawn("driver:mavg", func(p *des.Proc) {
 		ev.Record(0, p.Now(), w)
 		for t := 1; t <= prm.MaxSteps; t++ {
+			obs.Active().SetStep(t, p.Now())
 			stepW := w
 			// The task descriptors broadcast stepW; with sparse exchange on,
 			// the broadcast is charged at the model's nonzero-coded size, and
@@ -75,9 +77,12 @@ func Train(ctx *engine.Context, parts [][]glm.Example, dim int, prm train.Params
 					}
 					return local, float64(work)
 				})
+			var stepUpdates int64
 			for i := range parts {
-				res.Updates += int64(prm.LocalPasses * len(parts[i]))
+				stepUpdates += int64(prm.LocalPasses * len(parts[i]))
 			}
+			res.Updates += stepUpdates
+			obs.Active().Updates(t, "", stepUpdates, p.Now())
 			// Model averaging at the driver: w ← (1/k)·Σ local models.
 			copy(w, sum)
 			vec.Scale(w, 1/float64(k))

@@ -242,8 +242,9 @@ func escape(s string) string {
 // told apart at a glance, and the legend labels the families explicitly:
 //
 //	computation    compute #2a78d6 (blue) · aggregate #4a3aa7 (violet) ·
-//	               update #1baf7a (aqua)
-//	communication  send #e34948 (red) · recv #eda100 (yellow)
+//	               update #1baf7a (aqua) · encode #2aa0c8 (cyan)
+//	communication  send #e34948 (red) · recv #eda100 (yellow) ·
+//	               ps-pull #c23b78 (pink) · ps-push #eb6834 (orange)
 //	other          barrier-wait #e4e3df (faint gray) · stage-scheduling
 //	               #b9b7b1 (gray) · markers as thin vertical ink lines
 //
@@ -261,6 +262,9 @@ var ganttColors = [trace.KindCount]string{
 	trace.Update:    "#1baf7a",
 	trace.Barrier:   "#e4e3df",
 	trace.Stage:     "#b9b7b1",
+	trace.Pull:      "#c23b78",
+	trace.Push:      "#eb6834",
+	trace.Encode:    "#2aa0c8",
 }
 
 // ganttLegend is the legend layout: two labeled families, then the rest.
@@ -268,8 +272,8 @@ var ganttLegend = []struct {
 	Label string
 	Kinds []trace.Kind
 }{
-	{"computation:", []trace.Kind{trace.Compute, trace.Aggregate, trace.Update}},
-	{"communication:", []trace.Kind{trace.Send, trace.Recv}},
+	{"computation:", []trace.Kind{trace.Compute, trace.Aggregate, trace.Update, trace.Encode}},
+	{"communication:", []trace.Kind{trace.Send, trace.Recv, trace.Pull, trace.Push}},
 	{"other:", []trace.Kind{trace.Barrier, trace.Stage}},
 }
 

@@ -20,6 +20,7 @@ import (
 	"mllibstar/internal/detrand"
 	"mllibstar/internal/engine"
 	"mllibstar/internal/glm"
+	"mllibstar/internal/obs"
 	"mllibstar/internal/sparse"
 	"mllibstar/internal/trace"
 	"mllibstar/internal/train"
@@ -72,6 +73,7 @@ func Train(ctx *engine.Context, parts [][]glm.Example, dim int, prm train.Params
 	sim.Spawn("driver:mllib", func(p *des.Proc) {
 		ev.Record(0, p.Now(), w)
 		for t := 1; t <= prm.MaxSteps; t++ {
+			obs.Active().SetStep(t, p.Now())
 			stepW := w // tasks read, never write, the current model
 			// With sparse exchange on, the model broadcast is charged at its
 			// nonzero-coded size and the gradient partials (whose support is
@@ -105,6 +107,7 @@ func Train(ctx *engine.Context, parts [][]glm.Example, dim int, prm train.Params
 				}
 				driver.ComputeKind(p, float64(dim), trace.Update, "model update")
 				res.Updates++
+				obs.Active().Updates(t, ctx.Cluster.Driver, 1, p.Now())
 			}
 			ctx.PutVec(sum)
 			res.CommSteps = t

@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Event is one record of the superstep event log: a (superstep, node, phase)
+// observation carrying its virtual-time span and, depending on the phase,
+// message bytes, SSP staleness, a loss value, or an update count.
+//
+// The JSONL encoding is the interchange format between a live run, the
+// committed sample logs, and cmd/mlstar-obs. Field presence follows the
+// phase: message events set Dir/Chan/Enc/Bytes; eval events set Loss (and
+// Stale under SSP); update-counter events set Count; meta events hold a
+// key=value pair in Note. Float fields deliberately avoid omitempty so the
+// encoding round-trips bit-exactly (omitting -0 or re-adding it would not).
+type Event struct {
+	Step  int      `json:"step"`
+	Node  string   `json:"node,omitempty"`
+	Phase Phase    `json:"phase"`
+	Dir   Dir      `json:"dir,omitempty"`
+	Chan  Channel  `json:"chan,omitempty"`
+	Enc   Encoding `json:"enc,omitempty"`
+	Bytes float64  `json:"bytes"`
+	Start float64  `json:"start"`
+	End   float64  `json:"end"`
+	Stale int      `json:"stale,omitempty"`
+	Loss  float64  `json:"loss"`
+	Count int64    `json:"count,omitempty"`
+	Note  string   `json:"note,omitempty"`
+}
+
+// WriteJSONL writes one JSON object per line. encoding/json emits struct
+// fields in declaration order and shortest-form floats, so the output is a
+// canonical, deterministic function of the events.
+func WriteJSONL(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	for i := range events {
+		data, err := json.Marshal(&events[i])
+		if err != nil {
+			return fmt.Errorf("obs: encoding event %d: %w", i, err)
+		}
+		if _, err := bw.Write(data); err != nil {
+			return err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses an event log written by WriteJSONL, skipping blank lines.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var events []Event
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(raw, &e); err != nil {
+			return nil, fmt.Errorf("obs: line %d: %w", line, err)
+		}
+		events = append(events, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: reading events: %w", err)
+	}
+	return events, nil
+}

@@ -1,0 +1,112 @@
+package obshttp
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"mllibstar/internal/obs"
+)
+
+func testSink() *obs.Sink {
+	s := obs.NewSink()
+	s.Meta("system", "MLlib")
+	s.Meta("dataset", "synth")
+	s.SetStep(1, 0)
+	s.Span("driver", obs.PhaseSchedule, 0, 0.001, "schedule")
+	s.Message("driver", obs.PhaseBroadcast, obs.ChanDriver, obs.DirSend, obs.EncDense, 8000, 0.001, 0.003)
+	s.Eval(1, "", 0.003, 0.5, 0)
+	s.SetStep(2, 0.003)
+	s.Span("executor0", obs.PhaseCompute, 0.004, 0.014, "")
+	s.Eval(2, "", 0.014, 0.25, 0)
+	return s
+}
+
+func get(t *testing.T, srv *httptest.Server, path string) (string, string) {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body), resp.Header.Get("Content-Type")
+}
+
+func TestEndpoints(t *testing.T) {
+	srv := httptest.NewServer(Handler(testSink()))
+	defer srv.Close()
+
+	body, ct := get(t, srv, "/metrics")
+	if !strings.Contains(ct, "text/plain") {
+		t.Errorf("/metrics content type %q", ct)
+	}
+	for _, want := range []string{"# TYPE mlstar_superstep gauge", "mlstar_comm_bytes_total", "mlstar_loss 0.25"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q in:\n%s", want, body)
+		}
+	}
+
+	body, ct = get(t, srv, "/metrics.json")
+	if !strings.Contains(ct, "application/json") || !strings.Contains(body, `"families"`) {
+		t.Errorf("/metrics.json: ct=%q body=%s", ct, body)
+	}
+
+	body, _ = get(t, srv, "/events")
+	if got := strings.Count(strings.TrimSpace(body), "\n") + 1; got != testSink().Len() {
+		t.Errorf("/events has %d lines, want %d", got, testSink().Len())
+	}
+
+	body, _ = get(t, srv, "/report")
+	if !strings.Contains(body, "bottleneck attribution: system=MLlib dataset=synth") {
+		t.Errorf("/report: %s", body)
+	}
+
+	body, _ = get(t, srv, "/report.json")
+	if !strings.Contains(body, `"dominant_cost"`) {
+		t.Errorf("/report.json: %s", body)
+	}
+
+	body, ct = get(t, srv, "/")
+	if !strings.Contains(ct, "text/html") {
+		t.Errorf("dashboard content type %q", ct)
+	}
+	for _, want := range []string{"MLlib on synth", "<svg", "Bottleneck attribution"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("dashboard missing %q", want)
+		}
+	}
+
+	resp, err := http.Get(srv.URL + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown path: status %d", resp.StatusCode)
+	}
+}
+
+func TestServe(t *testing.T) {
+	addr, stop, err := Serve("127.0.0.1:0", testSink())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,224 @@
+package obs
+
+import (
+	"io"
+	"sync"
+)
+
+// superstepBuckets are the histogram bounds for per-superstep virtual
+// duration, spanning the sub-millisecond test clusters through the
+// multi-second production-scale supersteps.
+var superstepBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Sink accumulates the superstep event log and keeps the metrics registry
+// in sync with it: every recorded event also updates the relevant counter,
+// gauge, or histogram, so replaying a JSONL log through SinkFromEvents
+// rebuilds exactly the registry the live run exposed.
+//
+// Methods are nil-safe (a nil *Sink records nothing) so instrumentation
+// sites can call obs.Active().X(...) unconditionally. The mutex exists for
+// the live HTTP endpoint: the simulation writes from its single DES
+// goroutine while obshttp readers snapshot concurrently.
+type Sink struct {
+	mu     sync.Mutex
+	events []Event
+	reg    *Registry
+
+	step      int
+	stepStart float64
+	haveStep  bool
+
+	mSuperstep *Family // gauge: current superstep
+	mStepDur   *Family // histogram: superstep virtual duration
+	mBytes     *Family // counter: comm bytes by channel/enc (send side only)
+	mMsgs      *Family // counter: comm messages by channel/enc (send side only)
+	mPhaseSec  *Family // counter: virtual seconds by node/phase/dir
+	mLoss      *Family // gauge: last recorded objective
+	mStale     *Family // gauge: configured SSP staleness
+	mUpdates   *Family // counter: model updates applied
+	mVirtual   *Family // gauge: virtual clock at the last event
+}
+
+// NewSink returns an empty sink with its registry families declared. Most
+// callers want Enable, which also installs the sink process-wide.
+func NewSink() *Sink {
+	reg := NewRegistry()
+	return &Sink{
+		reg:        reg,
+		mSuperstep: reg.Gauge("mlstar_superstep", "current superstep (communication step) of the run"),
+		mStepDur: reg.Histogram("mlstar_superstep_seconds",
+			"virtual-time duration of completed supersteps", superstepBuckets),
+		mBytes: reg.Counter("mlstar_comm_bytes_total",
+			"simulated payload bytes sent, by channel and wire encoding", "channel", "enc"),
+		mMsgs: reg.Counter("mlstar_comm_messages_total",
+			"simulated messages sent, by channel and wire encoding", "channel", "enc"),
+		mPhaseSec: reg.Counter("mlstar_phase_seconds_total",
+			"virtual seconds spent, by node, phase, and message direction (empty dir = compute span)",
+			"node", "phase", "dir"),
+		mLoss:  reg.Gauge("mlstar_loss", "last evaluated objective value"),
+		mStale: reg.Gauge("mlstar_ssp_staleness", "configured SSP staleness slack (0 = BSP)"),
+		mUpdates: reg.Counter("mlstar_updates_total",
+			"model updates applied, summed over nodes"),
+		mVirtual: reg.Gauge("mlstar_virtual_seconds", "virtual clock at the last recorded event"),
+	}
+}
+
+// Registry returns the sink's metrics registry.
+func (s *Sink) Registry() *Registry {
+	if s == nil {
+		return nil
+	}
+	return s.reg
+}
+
+// Events returns a copy of the event log recorded so far.
+func (s *Sink) Events() []Event {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Event(nil), s.events...)
+}
+
+// Len returns the number of events recorded so far.
+func (s *Sink) Len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.events)
+}
+
+// WriteJSONL writes the event log to w.
+func (s *Sink) WriteJSONL(w io.Writer) error {
+	return WriteJSONL(w, s.Events())
+}
+
+// Step returns the current superstep.
+func (s *Sink) Step() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.step
+}
+
+// record appends an event and folds it into the registry. Caller holds no
+// locks. This is the single ingestion path, shared by the live hooks and by
+// SinkFromEvents replay, which is what keeps live and replayed registries
+// identical.
+func (s *Sink) record(e Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.events = append(s.events, e)
+	if e.End > 0 {
+		s.mVirtual.Set(e.End)
+	}
+	switch {
+	case e.Dir == DirSend:
+		s.mBytes.Add(e.Bytes, string(e.Chan), string(e.Enc))
+		s.mMsgs.Add(1, string(e.Chan), string(e.Enc))
+		s.mPhaseSec.Add(e.End-e.Start, e.Node, string(e.Phase), string(e.Dir))
+	case e.Dir == DirRecv:
+		s.mPhaseSec.Add(e.End-e.Start, e.Node, string(e.Phase), string(e.Dir))
+	case e.Phase == PhaseStep:
+		if s.haveStep {
+			s.mStepDur.Observe(e.Start - s.stepStart)
+		}
+		s.step, s.stepStart, s.haveStep = e.Step, e.Start, true
+		s.mSuperstep.Set(float64(e.Step))
+	case e.Phase == PhaseEval:
+		s.mLoss.Set(e.Loss)
+		s.mStale.Set(float64(e.Stale))
+	case e.Phase == PhaseUpdates:
+		s.mUpdates.Add(float64(e.Count))
+	case e.Phase == PhaseMeta:
+		// metadata carries no metric
+	case e.Phase == PhaseStage:
+		// the stage span aggregates its inner phases; counting it too would
+		// double-book the driver's seconds
+	default:
+		s.mPhaseSec.Add(e.End-e.Start, e.Node, string(e.Phase), "")
+	}
+}
+
+// SetStep advances the current superstep: subsequent events are attributed
+// to step, and the completed step's virtual duration is observed into the
+// superstep histogram. The transition is recorded as a PhaseStep event so a
+// replayed log reproduces the histogram exactly.
+func (s *Sink) SetStep(step int, now float64) {
+	if s == nil {
+		return
+	}
+	s.record(Event{Step: step, Phase: PhaseStep, Start: now, End: now})
+}
+
+// Span records a compute-side span event (Dir empty) on the current step.
+func (s *Sink) Span(node string, ph Phase, start, end float64, note string) {
+	if s == nil {
+		return
+	}
+	s.record(Event{Step: s.Step(), Node: node, Phase: ph, Start: start, End: end, Note: note})
+}
+
+// Message records one half of a message: its serialization through the
+// sender's outbound NIC (DirSend, which also books the bytes) or through
+// the receiver's inbound NIC (DirRecv).
+func (s *Sink) Message(node string, ph Phase, ch Channel, dir Dir, enc Encoding, bytes, start, end float64) {
+	if s == nil {
+		return
+	}
+	s.record(Event{Step: s.Step(), Node: node, Phase: ph, Dir: dir, Chan: ch, Enc: enc,
+		Bytes: bytes, Start: start, End: end})
+}
+
+// Stage records the full span of one BSP stage at the driver.
+func (s *Sink) Stage(node, name string, start, end float64) {
+	if s == nil {
+		return
+	}
+	s.record(Event{Step: s.Step(), Node: node, Phase: PhaseStage, Start: start, End: end, Note: name})
+}
+
+// Eval records an out-of-band objective evaluation at the given superstep,
+// with the run's configured SSP staleness (0 for the BSP systems).
+func (s *Sink) Eval(step int, node string, now, loss float64, stale int) {
+	if s == nil {
+		return
+	}
+	s.record(Event{Step: step, Node: node, Phase: PhaseEval, Start: now, End: now, Loss: loss, Stale: stale})
+}
+
+// Updates records that node applied count model updates during step.
+func (s *Sink) Updates(step int, node string, count int64, now float64) {
+	if s == nil || count == 0 {
+		return
+	}
+	s.record(Event{Step: step, Node: node, Phase: PhaseUpdates, Start: now, End: now, Count: count})
+}
+
+// Meta records run metadata as a key=value note (system name, dataset, ...).
+func (s *Sink) Meta(key, value string) {
+	if s == nil {
+		return
+	}
+	s.record(Event{Step: s.Step(), Phase: PhaseMeta, Note: key + "=" + value})
+}
+
+// SinkFromEvents replays a decoded event log through a fresh sink, yielding
+// the same event slice and — because record is the single ingestion path,
+// and step transitions are themselves events — the same registry state the
+// original live run had.
+func SinkFromEvents(events []Event) *Sink {
+	s := NewSink()
+	for _, e := range events {
+		s.record(e)
+	}
+	return s
+}

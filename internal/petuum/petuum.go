@@ -22,6 +22,7 @@ import (
 	"mllibstar/internal/des"
 	"mllibstar/internal/detrand"
 	"mllibstar/internal/glm"
+	"mllibstar/internal/obs"
 	"mllibstar/internal/opt"
 	"mllibstar/internal/ps"
 	"mllibstar/internal/simnet"
@@ -68,6 +69,7 @@ func Train(sim *des.Sim, net *simnet.Network, nodeNames []string, parts [][]glm.
 	}
 
 	ev := train.NewEvaluator(system, dataset, prm.Objective, evalData, prm.EvalEvery)
+	ev.Staleness = prm.Staleness
 	res := &train.Result{System: system, Curve: ev.Curve}
 	sched := prm.Schedule()
 	_, regIsNone := prm.Objective.Reg.(glm.None)
@@ -83,6 +85,11 @@ func Train(sim *des.Sim, net *simnet.Network, nodeNames []string, parts [][]glm.
 			scratch := make([]float64, dim)
 			jitter := detrand.Worker(prm.Seed, r)
 			for t := 1; t <= prm.MaxSteps && !stop; t++ {
+				if r == 0 {
+					// Step attribution for the event log follows worker 0's
+					// clock; other workers drift within the SSP slack.
+					obs.Active().SetStep(t, p.Now())
+				}
 				w := deploy.Pull(p, node.Name(), r, t-1)
 				if r == 0 {
 					// The model pulled at clock t−1 reflects t−1 completed
@@ -136,11 +143,12 @@ func Train(sim *des.Sim, net *simnet.Network, nodeNames []string, parts [][]glm.
 						}
 					}
 				})
+				upd := int64(1)
 				if regIsNone {
-					res.Updates += int64(len(batch))
-				} else {
-					res.Updates++
+					upd = int64(len(batch))
 				}
+				res.Updates += upd
+				obs.Active().Updates(t, node.Name(), upd, p.Now())
 				deploy.Push(p, node.Name(), r, t, delta)
 			}
 			if r == 0 && !stop {

@@ -1,12 +1,15 @@
 // Package prof wires the standard Go profiling endpoints and the engine
 // switches into the repository's CLIs: -par (the deterministic
 // compute-offload pool), -sparse (SparCML-style sparse model-delta
-// exchange), -cpuprofile, -memprofile, and -trace. Results are bit-identical
+// exchange), -obs/-obs-http (the structured telemetry layer),
+// -cpuprofile, -memprofile, and -trace. Results are bit-identical
 // with -par on or off — the flag only changes wall-clock behaviour — which
 // is what makes before/after profiles of the same run comparable. -sparse
 // keeps every training numeric bit-identical too, but shrinks simulated
 // communication bytes and therefore virtual time (that is its point), so
-// compare simulated timings only within one -sparse setting.
+// compare simulated timings only within one -sparse setting. -obs observes
+// without charging: enabling it changes no numerics, bytes, or virtual
+// times, only records them.
 package prof
 
 import (
@@ -18,6 +21,8 @@ import (
 	rtrace "runtime/trace"
 	"strconv"
 
+	"mllibstar/internal/obs"
+	"mllibstar/internal/obs/obshttp"
 	"mllibstar/internal/par"
 	"mllibstar/internal/sparse"
 )
@@ -31,6 +36,8 @@ type Config struct {
 	cpu     *string
 	mem     *string
 	trace   *string
+	obsOut  *string
+	obsHTTP *string
 }
 
 // onOff is a boolean flag that also accepts the spellings on/off.
@@ -70,6 +77,8 @@ func Register(fs *flag.FlagSet) *Config {
 	c.cpu = fs.String("cpuprofile", "", "write a CPU profile to this file")
 	c.mem = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	c.trace = fs.String("trace", "", "write a runtime execution trace to this file")
+	c.obsOut = fs.String("obs", "", "record the structured superstep event log and write it to this file as JSONL on exit (replay with mlstar-obs)")
+	c.obsHTTP = fs.String("obs-http", "", "serve live telemetry (/metrics, /events, dashboard) on this address, e.g. :8080; implies event recording")
 	return c
 }
 
@@ -109,7 +118,46 @@ func (c *Config) Start() (stop func(), err error) {
 			return nil, fmt.Errorf("prof: %w", err)
 		}
 	}
+	// Telemetry last: nothing after it can fail, so the server and sink
+	// never leak on an error return. Recording observes the run without
+	// charging it — results stay bit-identical with -obs on or off.
+	var sink *obs.Sink
+	var stopHTTP func()
+	if *c.obsOut != "" || *c.obsHTTP != "" {
+		sink = obs.Enable()
+	}
+	if *c.obsHTTP != "" {
+		addr, stopFn, serveErr := obshttp.Serve(*c.obsHTTP, sink)
+		if serveErr != nil {
+			if traceFile != nil {
+				rtrace.Stop()
+				_ = traceFile.Close()
+			}
+			if cpuFile != nil {
+				pprof.StopCPUProfile()
+				_ = cpuFile.Close()
+			}
+			return nil, fmt.Errorf("prof: %w", serveErr)
+		}
+		stopHTTP = stopFn
+		fmt.Fprintf(os.Stderr, "prof: telemetry dashboard on http://%s/\n", addr)
+	}
+
 	return func() {
+		if *c.obsOut != "" && sink != nil {
+			f, err := os.Create(*c.obsOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "prof:", err)
+			} else {
+				if err := sink.WriteJSONL(f); err != nil {
+					fmt.Fprintln(os.Stderr, "prof:", err)
+				}
+				_ = f.Close()
+			}
+		}
+		if stopHTTP != nil {
+			stopHTTP()
+		}
 		if traceFile != nil {
 			rtrace.Stop()
 			_ = traceFile.Close()

@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"mllibstar/internal/des"
+	"mllibstar/internal/obs"
 	"mllibstar/internal/simnet"
 	"mllibstar/internal/trace"
 	"mllibstar/internal/vec"
@@ -162,8 +163,8 @@ func (s *server) release(p *des.Proc) {
 
 func (s *server) reply(p *des.Proc, req pullReq) {
 	snapshot := append([]float64(nil), s.model...)
-	s.node.Send(p, req.replyTo, req.replyTag,
-		float64(len(snapshot))*8, rangeReply{server: s.index, vals: snapshot})
+	s.node.SendPhase(p, req.replyTo, req.replyTag,
+		float64(len(snapshot))*8, rangeReply{server: s.index, vals: snapshot}, obs.PhasePSPull)
 }
 
 // Pull fetches the full model for the given worker at the given clock,
@@ -173,8 +174,8 @@ func (p *PS) Pull(proc *des.Proc, nodeName string, worker, clock int) []float64 
 	node := p.net.Node(nodeName)
 	replyTag := fmt.Sprintf("ps.pull.w%d", worker)
 	for s := 0; s < p.cfg.Servers; s++ {
-		node.Send(proc, p.hosts[s], serverTag(s),
-			requestBytes, pullReq{worker: worker, clock: clock, replyTo: nodeName, replyTag: replyTag})
+		node.SendPhase(proc, p.hosts[s], serverTag(s),
+			requestBytes, pullReq{worker: worker, clock: clock, replyTo: nodeName, replyTag: replyTag}, obs.PhasePSPull)
 	}
 	w := make([]float64, p.cfg.Dim)
 	for i := 0; i < p.cfg.Servers; i++ {
@@ -196,7 +197,7 @@ func (p *PS) Push(proc *des.Proc, nodeName string, worker, clock int, delta []fl
 	for s := 0; s < p.cfg.Servers; s++ {
 		lo, hi := vec.PartitionRange(p.cfg.Dim, p.cfg.Servers, s)
 		chunk := append([]float64(nil), delta[lo:hi]...)
-		node.Send(proc, p.hosts[s], serverTag(s),
-			float64(hi-lo)*8, pushReq{worker: worker, clock: clock, vals: chunk})
+		node.SendPhase(proc, p.hosts[s], serverTag(s),
+			float64(hi-lo)*8, pushReq{worker: worker, clock: clock, vals: chunk}, obs.PhasePSPush)
 	}
 }

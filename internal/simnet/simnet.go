@@ -26,6 +26,7 @@ import (
 	"sort"
 
 	"mllibstar/internal/des"
+	"mllibstar/internal/obs"
 	"mllibstar/internal/par"
 	"mllibstar/internal/trace"
 )
@@ -53,7 +54,10 @@ type Message struct {
 	SentAt    float64 // when the sender started transmitting
 	DeliverAt float64 // when the receiver NIC finished receiving
 
-	recvStart float64 // when the receiver NIC started receiving
+	recvStart float64      // when the receiver NIC started receiving
+	phase     obs.Phase    // collective phase, from the tag or SendPhase
+	channel   obs.Channel  // logical link class, from the tag
+	enc       obs.Encoding // wire encoding, from the payload
 }
 
 // Node is one simulated machine.
@@ -168,6 +172,7 @@ func (nd *Node) ComputeKind(p *des.Proc, work float64, kind trace.Kind, note str
 	start := p.Now()
 	p.Wait(d)
 	nd.net.rec.Add(nd.spec.Name, kind, start, p.Now(), note)
+	obs.Active().Span(nd.spec.Name, obs.PhaseForKind(kind), start, p.Now(), note)
 	return d
 }
 
@@ -198,22 +203,41 @@ func (nd *Node) ComputeAsyncKind(p *des.Proc, work float64, kind trace.Kind, not
 // message serializes through the outbound NIC; propagation and the
 // receiver's inbound serialization happen asynchronously. Delivery order per
 // (receiver, tag) mailbox follows inbound-NIC completion order.
+//
+// The message's telemetry phase and channel are classified from the tag
+// (obs.ClassifyTag); use SendPhase when the tag is ambiguous — the
+// parameter-server request mailbox carries both pulls and pushes.
 func (nd *Node) Send(p *des.Proc, to, tag string, bytes float64, payload any) {
+	ph, ch := obs.ClassifyTag(tag)
+	nd.sendPhase(p, to, tag, bytes, payload, ph, ch)
+}
+
+// SendPhase is Send with an explicit telemetry phase, for senders whose tag
+// alone does not identify the collective.
+func (nd *Node) SendPhase(p *des.Proc, to, tag string, bytes float64, payload any, ph obs.Phase) {
+	_, ch := obs.ClassifyTag(tag)
+	nd.sendPhase(p, to, tag, bytes, payload, ph, ch)
+}
+
+func (nd *Node) sendPhase(p *des.Proc, to, tag string, bytes float64, payload any, ph obs.Phase, ch obs.Channel) {
 	if bytes < 0 {
 		panic(fmt.Sprintf("simnet: negative message size %g", bytes))
 	}
 	dst := nd.net.Node(to)
+	enc := obs.EncodingOf(payload)
 	wire := bytes + nd.net.cfg.OverheadBytes
 	sentAt := p.Now()
 	_, outEnd := nd.out.Reserve(wire / nd.spec.SendBW)
 	p.WaitUntil(outEnd)
-	nd.net.rec.Add(nd.spec.Name, trace.Send, sentAt, outEnd, tag)
+	nd.net.rec.Add(nd.spec.Name, obs.KindForSend(ph, obs.DirSend), sentAt, outEnd, tag)
+	obs.Active().Message(nd.spec.Name, ph, ch, obs.DirSend, enc, bytes, sentAt, outEnd)
 
 	arrive := outEnd + nd.net.cfg.Latency
 	rs, re := dst.in.ReserveAt(arrive, wire/dst.spec.RecvBW)
 	msg := &Message{
 		From: nd.spec.Name, To: to, Tag: tag, Bytes: bytes, Payload: payload,
 		SentAt: sentAt, DeliverAt: re, recvStart: rs,
+		phase: ph, channel: ch, enc: enc,
 	}
 	nd.bytesSent += bytes
 	nd.msgsSent++
@@ -229,7 +253,8 @@ func (nd *Node) Send(p *des.Proc, to, tag string, bytes float64, payload any) {
 func (nd *Node) Recv(p *des.Proc, tag string) *Message {
 	msg := nd.box(tag).Get(p)
 	p.WaitUntil(msg.DeliverAt)
-	nd.net.rec.Add(nd.spec.Name, trace.Recv, msg.recvStart, msg.DeliverAt, tag)
+	nd.net.rec.Add(nd.spec.Name, obs.KindForSend(msg.phase, obs.DirRecv), msg.recvStart, msg.DeliverAt, tag)
+	obs.Active().Message(nd.spec.Name, msg.phase, msg.channel, obs.DirRecv, msg.enc, msg.Bytes, msg.recvStart, msg.DeliverAt)
 	return msg
 }
 

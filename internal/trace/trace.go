@@ -24,11 +24,14 @@ const (
 	Update                // applying an update to the (global) model
 	Barrier               // waiting at a BSP barrier
 	Stage                 // stage bookkeeping on the driver (scheduling)
+	Pull                  // parameter-server model pull (request + range replies)
+	Push                  // parameter-server delta push
+	Encode                // sparse encode/decode of a model-delta message
 
 	KindCount // number of kinds; keep last
 )
 
-var kindNames = [...]string{"compute", "send", "recv", "aggregate", "update", "barrier", "stage"}
+var kindNames = [...]string{"compute", "send", "recv", "aggregate", "update", "barrier", "stage", "pull", "push", "encode"}
 
 // String returns the lower-case kind name used in CSV output.
 func (k Kind) String() string {
@@ -39,7 +42,7 @@ func (k Kind) String() string {
 }
 
 // glyphs used by the ASCII gantt renderer, one per Kind.
-var kindGlyphs = [...]byte{'C', 's', 'r', 'A', 'U', '.', '#'}
+var kindGlyphs = [...]byte{'C', 's', 'r', 'A', 'U', '.', '#', 'p', 'P', 'e'}
 
 // Span is one contiguous activity interval on one node.
 type Span struct {
@@ -262,7 +265,7 @@ func (r *Recorder) RenderASCII(width int) string {
 	for _, n := range nodes {
 		fmt.Fprintf(&b, "%*s  %s\n", nameW, n, rows[n])
 	}
-	b.WriteString("legend: computation[C=compute A=aggregate U=update] communication[s=send r=recv] other[.=barrier-wait #=stage-scheduling |=marker]\n")
+	b.WriteString("legend: computation[C=compute A=aggregate U=update e=encode] communication[s=send r=recv p=ps-pull P=ps-push] other[.=barrier-wait #=stage-scheduling |=marker]\n")
 	return b.String()
 }
 

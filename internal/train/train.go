@@ -13,6 +13,7 @@ import (
 
 	"mllibstar/internal/glm"
 	"mllibstar/internal/metrics"
+	"mllibstar/internal/obs"
 	"mllibstar/internal/opt"
 )
 
@@ -131,13 +132,20 @@ type Evaluator struct {
 	Data      []glm.Example
 	Curve     *metrics.Curve
 	every     int
+	// Staleness is the run's SSP slack, attached to the telemetry eval
+	// events; the parameter-server trainers set it from their params.
+	Staleness int
 }
 
-// NewEvaluator builds an evaluator recording to a fresh curve.
+// NewEvaluator builds an evaluator recording to a fresh curve. When
+// telemetry is enabled the run's system and dataset names are logged as
+// meta events, which is how cmd/mlstar-obs labels its reports.
 func NewEvaluator(system, dataset string, obj glm.Objective, evalData []glm.Example, every int) *Evaluator {
 	if every <= 0 {
 		every = 1
 	}
+	obs.Active().Meta("system", system)
+	obs.Active().Meta("dataset", dataset)
 	return &Evaluator{
 		Objective: obj,
 		Data:      evalData,
@@ -148,13 +156,16 @@ func NewEvaluator(system, dataset string, obj glm.Objective, evalData []glm.Exam
 
 // Record evaluates w and appends a point if step is on the evaluation
 // cadence (step 0 and every `every` steps). It returns the objective when
-// evaluated, or NaN when skipped.
+// evaluated, or NaN when skipped. Recorded points are mirrored to the
+// telemetry event log; like the curve itself, the evaluation consumes no
+// simulated time.
 func (ev *Evaluator) Record(step int, simTime float64, w []float64) (float64, bool) {
 	if step%ev.every != 0 {
 		return 0, false
 	}
 	obj := ev.Objective.Value(w, ev.Data)
 	ev.Curve.Add(step, simTime, obj)
+	obs.Active().Eval(step, "", simTime, obj, ev.Staleness)
 	return obj, true
 }
 
