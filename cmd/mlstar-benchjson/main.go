@@ -16,10 +16,16 @@
 //     telemetry sub-runs — the wall-clock price of recording the structured
 //     event log (results are bit-identical either way). The companion
 //     obs_events_per_op is the obs=on sub-run's obsevents/op metric.
+//   - sim_speedup_pipeline: simsec/op(pipeline=off) / simsec/op(pipeline=on)
+//     for benchmarks with superstep-schedule sub-runs; >1 means chunked
+//     compute/communication overlap shortened the simulated clock (bytes
+//     and numerics are identical by construction).
+//   - allocs_per_batch_csr: the layout=csr sub-run's allocs/op — allocations
+//     per cache-blocked mini-batch pass over the CSR arena, guarded at 0.
 //
 // Usage:
 //
-//	go test -bench 'BenchmarkWallClock' -benchmem ./internal/bench | mlstar-benchjson -out BENCH_4.json
+//	go test -bench 'BenchmarkWallClock' -benchmem ./internal/bench | mlstar-benchjson -out BENCH_5.json
 package main
 
 import (
@@ -69,6 +75,17 @@ type artifact struct {
 	// metric of the obs=on sub-run: how many structured events one run of
 	// the benchmark workload generates.
 	ObsEventsPerOp map[string]float64 `json:"obs_events_per_op,omitempty"`
+	// SimSpeedupPipeline maps a benchmark's base name to
+	// simsec/op(pipeline=off) / simsec/op(pipeline=on) — the virtual-time
+	// win from overlapping chunk transfer with folding. The matching
+	// commbytes/op ratio is exactly 1 by the byte-invariance contract, so
+	// only the time ratio is tabulated.
+	SimSpeedupPipeline map[string]float64 `json:"sim_speedup_pipeline,omitempty"`
+	// AllocsPerBatchCSR maps a benchmark's base name to the layout=csr
+	// sub-run's allocs/op: heap allocations per full cache-blocked
+	// mini-batch pass over the CSR arena. The bench-smoke guard
+	// (TestCSRBatchZeroAllocs) holds this at exactly 0.
+	AllocsPerBatchCSR map[string]float64 `json:"allocs_per_batch_csr,omitempty"`
 }
 
 // benchPrefix matches the name and iteration count of a result row; the
@@ -79,7 +96,7 @@ var benchPrefix = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.*)$`)
 var cpuSuffix = regexp.MustCompile(`-\d+$`)
 
 func main() {
-	out := flag.String("out", "BENCH_4.json", "output JSON path")
+	out := flag.String("out", "BENCH_5.json", "output JSON path")
 	flag.Parse()
 
 	art, err := parse(bufio.NewScanner(os.Stdin))
@@ -151,6 +168,8 @@ func parse(sc *bufio.Scanner) (*artifact, error) {
 	// speedup tables.
 	art.ObsOverhead = ratios(art.Benchmarks, "/obs=on", "/obs=off",
 		func(r benchResult) float64 { return r.NsPerOp })
+	art.SimSpeedupPipeline = ratios(art.Benchmarks, "/pipeline=off", "/pipeline=on",
+		func(r benchResult) float64 { return r.Metrics["simsec/op"] })
 	for _, r := range art.Benchmarks {
 		base, ok := strings.CutSuffix(r.Name, "/obs=on")
 		if !ok || r.Metrics["obsevents/op"] <= 0 {
@@ -160,6 +179,18 @@ func parse(sc *bufio.Scanner) (*artifact, error) {
 			art.ObsEventsPerOp = map[string]float64{}
 		}
 		art.ObsEventsPerOp[base] = r.Metrics["obsevents/op"]
+	}
+	for _, r := range art.Benchmarks {
+		base, ok := strings.CutSuffix(r.Name, "/layout=csr")
+		if !ok {
+			continue
+		}
+		// Zero is the expected — and guarded — value, so record it even
+		// though it is the map type's empty value.
+		if art.AllocsPerBatchCSR == nil {
+			art.AllocsPerBatchCSR = map[string]float64{}
+		}
+		art.AllocsPerBatchCSR[base] = r.AllocsPerOp
 	}
 	return art, nil
 }

@@ -93,6 +93,17 @@ func reduceScatterGather(p *des.Proc, ex *engine.Executor, execs []string, self 
 	if k == 1 {
 		return // single executor: the local vector already is the result
 	}
+	if C := Chunks(); Enabled() && C > 1 {
+		// Chunks cannot outnumber the coordinates of the smallest partition;
+		// when a model is too small to cut, the sequential path below runs.
+		if minPart := dim / k; minPart < C {
+			C = minPart
+		}
+		if C > 1 {
+			pipelinedRSG(p, ex, execs, self, name, local, ref, average, C)
+			return
+		}
+	}
 	// refRange returns ref restricted to executor j's partition (nil when no
 	// reference is in play).
 	refRange := func(lo, hi int) []float64 {

@@ -1,0 +1,197 @@
+package allreduce_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mllibstar/internal/allreduce"
+	"mllibstar/internal/clusters"
+	"mllibstar/internal/des"
+	"mllibstar/internal/engine"
+	"mllibstar/internal/sparse"
+)
+
+// collectiveRun executes one stage in which every executor calls
+// AverageDelta on its row of locals and reports, per executor, the virtual
+// time the collective itself took (task start skew excluded). It returns
+// the slowest executor's duration and the bytes the stage moved.
+func collectiveRun(t *testing.T, spec clusters.Spec, locals [][]float64, ref []float64) (maxDur, bytes float64) {
+	t.Helper()
+	k := spec.Executors
+	sim, cl, ctx := spec.Build(nil)
+	durs := make([]float64, k)
+	var before float64
+	sim.Spawn("driver", func(p *des.Proc) {
+		tasks := make([]engine.Task, k)
+		for i := 0; i < k; i++ {
+			i := i
+			tasks[i] = engine.Task{
+				Exec: cl.Execs[i],
+				Run: func(p *des.Proc, ex *engine.Executor) (any, float64) {
+					start := p.Now()
+					allreduce.AverageDelta(p, ex, cl.Execs, i, "t", locals[i], ref)
+					durs[i] = p.Now() - start
+					return nil, 0
+				},
+			}
+		}
+		before = cl.Net.TotalBytes()
+		ctx.RunStage(p, "c", tasks)
+	})
+	sim.Run()
+	for _, d := range durs {
+		if d > maxDur {
+			maxDur = d
+		}
+	}
+	return maxDur, cl.Net.TotalBytes() - before
+}
+
+// makeLocals builds k random local vectors; when withRef is set they are
+// sparse deltas off a shared reference (the AverageDelta regime).
+func makeLocals(k, dim int, withRef bool, seed int64) (locals [][]float64, ref []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	if withRef {
+		ref = make([]float64, dim)
+		for i := range ref {
+			ref[i] = rng.NormFloat64()
+		}
+	}
+	locals = make([][]float64, k)
+	for i := range locals {
+		locals[i] = make([]float64, dim)
+		if withRef {
+			copy(locals[i], ref)
+			for t := 0; t < dim/20; t++ {
+				locals[i][rng.Intn(dim)] = rng.NormFloat64()
+			}
+		} else {
+			for j := range locals[i] {
+				locals[i][j] = rng.NormFloat64()
+			}
+		}
+	}
+	return locals, ref
+}
+
+func withPipeline(t *testing.T, on bool, chunks int, fn func()) {
+	t.Helper()
+	allreduce.Configure(on, chunks)
+	defer allreduce.Configure(false, 0)
+	fn()
+}
+
+func withSparseOn(t *testing.T, fn func()) {
+	t.Helper()
+	sparse.Configure(true)
+	defer sparse.Configure(false)
+	fn()
+}
+
+// TestPipelineBitIdenticalAndByteInvariant crosses pipeline × sparse ×
+// chunk counts × reference presence and demands Float64bits-identical
+// results and exactly equal stage bytes against the sequential schedule.
+func TestPipelineBitIdenticalAndByteInvariant(t *testing.T) {
+	const k, dim = 4, 4000
+	for _, withRef := range []bool{false, true} {
+		for _, sparseOn := range []bool{false, true} {
+			run := func() {
+				base, ref := makeLocals(k, dim, withRef, 7)
+				want := make([][]float64, k)
+				var wantBytes float64
+				for i := range base {
+					want[i] = append([]float64(nil), base[i]...)
+				}
+				_, wantBytes = collectiveRun(t, clusters.Test(k), want, ref)
+				for _, chunks := range []int{2, 8, 16} {
+					got := make([][]float64, k)
+					for i := range base {
+						got[i] = append([]float64(nil), base[i]...)
+					}
+					var gotBytes float64
+					withPipeline(t, true, chunks, func() {
+						_, gotBytes = collectiveRun(t, clusters.Test(k), got, ref)
+					})
+					if gotBytes != wantBytes {
+						t.Errorf("ref=%v sparse=%v chunks=%d: bytes %g, want %g",
+							withRef, sparseOn, chunks, gotBytes, wantBytes)
+					}
+					for i := range got {
+						for j := range got[i] {
+							if math.Float64bits(got[i][j]) != math.Float64bits(want[i][j]) {
+								t.Fatalf("ref=%v sparse=%v chunks=%d: executor %d coord %d differs: %x vs %x",
+									withRef, sparseOn, chunks, i, j,
+									math.Float64bits(got[i][j]), math.Float64bits(want[i][j]))
+							}
+						}
+					}
+				}
+			}
+			if sparseOn {
+				withSparseOn(t, run)
+			} else {
+				run()
+			}
+		}
+	}
+}
+
+// TestPipelineTinyModelFallsBack exercises the clamp: with fewer coordinates
+// per partition than chunks the sequential path must run and still be right.
+func TestPipelineTinyModelFallsBack(t *testing.T) {
+	withPipeline(t, true, 8, func() {
+		k := 6
+		locals := make([][]float64, k)
+		for i := range locals {
+			locals[i] = []float64{float64(i), float64(i), float64(i)}
+		}
+		collectiveRun(t, clusters.Test(k), locals, nil)
+		for i := range locals {
+			for j := range locals[i] {
+				if math.Abs(locals[i][j]-2.5) > 1e-12 {
+					t.Fatalf("locals[%d] = %v", i, locals[i])
+				}
+			}
+		}
+	})
+}
+
+// TestPipelineSuperstepBound checks the cost-model claim on a cluster where
+// communication and the fold/decode compute are deliberately balanced: the
+// pipelined collective must finish within max(compute, comm) plus the
+// pipeline fill (a few chunk serializations and latencies), where the
+// sequential schedule needs their sum.
+func TestPipelineSuperstepBound(t *testing.T) {
+	const k, dim, chunks = 4, 40000, 8
+	spec := clusters.CommBound(k)
+	s := dim / k // partition size; dim divides k evenly here
+
+	seqLocals, _ := makeLocals(k, dim, false, 3)
+	seqDur, _ := collectiveRun(t, spec, seqLocals, nil)
+
+	pipeLocals, _ := makeLocals(k, dim, false, 3)
+	var pipeDur float64
+	withPipeline(t, true, chunks, func() {
+		pipeDur, _ = collectiveRun(t, spec, pipeLocals, nil)
+	})
+
+	// Modeled components, per executor: the fold charges (k−1)·s and the
+	// gather decode another (k−1)·s; each direction of the NIC serializes
+	// 2·(k−1) partition copies of 8·s bytes plus per-message framing.
+	const overhead = 64 // simnet framing bytes per message
+	compute := 2 * float64(k-1) * float64(s) / spec.ComputeRate
+	comm := (2*float64(k-1)*float64(s)*engine.FloatBytes + 2*float64(k-1)*chunks*overhead) / spec.Bandwidth
+	chunkWire := (float64(s)/chunks*engine.FloatBytes + overhead) / spec.Bandwidth
+	fill := 4*float64(k-1)*chunkWire + 6*spec.Latency
+
+	if bound := math.Max(compute, comm) + fill; pipeDur > bound {
+		t.Errorf("pipelined superstep took %.6fs, want ≤ max(compute %.6fs, comm %.6fs) + fill %.6fs = %.6fs",
+			pipeDur, compute, comm, fill, bound)
+	}
+	// The sequential schedule pays compute + comm; requiring the pipelined
+	// run to beat 80% of it proves real overlap, not noise.
+	if pipeDur > 0.8*seqDur {
+		t.Errorf("pipelined %.6fs vs sequential %.6fs: expected ≥20%% overlap win", pipeDur, seqDur)
+	}
+}

@@ -21,7 +21,14 @@
 //     iterate over sorted keys or a recorded insertion-order slice, or
 //     suppress with //mlstar:nolint determinism when the loop is provably
 //     order-insensitive (e.g. building another map without float
-//     accumulation).
+//     accumulation);
+//   - raw `go` statements are flagged: concurrency in simulated code must be
+//     expressed as simulation processes (des.Spawn, des.Fork — what the
+//     pipelined AllReduce scheduler uses for its sender and fold/decode
+//     stages) or handed to the deterministic compute pool (par.Go/par.Do),
+//     because a bare goroutine runs in wall-clock order outside the virtual
+//     clock. The des kernel's own Spawn implementation is the one audited
+//     exception, suppressed in place.
 package determinism
 
 import (
@@ -34,7 +41,7 @@ import (
 // Analyzer is the determinism check.
 var Analyzer = &analysis.Analyzer{
 	Name: "determinism",
-	Doc:  "forbid global rand state, wall-clock time, and map-order dependence in simulated code",
+	Doc:  "forbid global rand state, wall-clock time, raw goroutines, and map-order dependence in simulated code",
 	DefaultScope: []string{
 		"mllibstar/internal/allreduce",
 		"mllibstar/internal/angel",
@@ -96,6 +103,9 @@ func run(pass *analysis.Pass) error {
 			checkCall(pass, n)
 		case *ast.RangeStmt:
 			checkRange(pass, n)
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(),
+				"raw goroutine in simulated code runs in wall-clock order outside the virtual clock; use a simulation process (des.Spawn/des.Fork) or the deterministic pool (par.Go/par.Do)")
 		}
 		return true
 	})

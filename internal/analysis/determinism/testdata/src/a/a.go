@@ -1,7 +1,7 @@
 // Corpus for the determinism analyzer: global RNG state, RNG construction,
-// wall-clock reads, and map-order iteration are flagged; explicitly seeded
-// generators, source-parameterized distributions, and ordered iteration are
-// clean.
+// wall-clock reads, map-order iteration, and raw goroutines are flagged;
+// explicitly seeded generators, source-parameterized distributions, and
+// ordered iteration are clean.
 package a
 
 import (
@@ -39,6 +39,16 @@ func mapOrder(m map[string]float64) float64 {
 		sum += v
 	}
 	return sum
+}
+
+func rawGoroutine(done chan struct{}) {
+	go func() { // want `raw goroutine in simulated code runs in wall-clock order`
+		close(done)
+	}()
+}
+
+func rawGoroutineNamed(fn func()) {
+	go fn() // want `raw goroutine in simulated code runs in wall-clock order`
 }
 
 // Clean: methods on an explicitly seeded generator are exactly what the

@@ -10,10 +10,18 @@
 // replay, golden-file, and parity guarantees). Telemetry must be emitted
 // from the simulation thread, where virtual time is well defined; the
 // analyzer enforces that statically instead of leaving it to code review.
+//
+// Closures reach the offload entry points two ways: as literal arguments
+// (par.Do(func() { ... })) and as named locals bound first and handed over
+// by identifier — the style the pipelined AllReduce scheduler uses
+// (fold := func() { ... }; h := par.Do(fold)). The analyzer resolves the
+// second form too: every func literal assigned to a local identifier within
+// the package is checked when that identifier is passed to an offload call.
 package obspure
 
 import (
 	"go/ast"
+	"go/types"
 
 	"mllibstar/internal/analysis"
 )
@@ -45,6 +53,7 @@ func run(pass *analysis.Pass) error {
 	if pass.Pkg != nil && pass.Pkg.Path() == obsPath {
 		return nil // the telemetry package may of course call itself
 	}
+	bound := boundLiterals(pass)
 	pass.Inspect(func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.CompositeLit:
@@ -77,14 +86,62 @@ func run(pass *analysis.Pass) error {
 				return true
 			}
 			for _, arg := range n.Args {
-				if lit, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
-					checkOffloaded(pass, lit, name+" closure")
+				switch arg := ast.Unparen(arg).(type) {
+				case *ast.FuncLit:
+					checkOffloaded(pass, arg, name+" closure")
+				case *ast.Ident:
+					// fold := func() { ... }; par.Do(fold) — the named-
+					// closure style of the pipeline scheduler. Check every
+					// literal ever bound to that identifier.
+					for _, lit := range bound[pass.TypesInfo.ObjectOf(arg)] {
+						checkOffloaded(pass, lit, name+" closure "+arg.Name)
+					}
 				}
 			}
 		}
 		return true
 	})
 	return nil
+}
+
+// boundLiterals maps each local variable object to the func literals
+// assigned to it (fold := func() { ... } or fold = func() { ... }, including
+// var declarations with initializers). Conservative by construction: a
+// variable assigned through any other expression contributes nothing, so
+// only closures whose body is visible are checked.
+func boundLiterals(pass *analysis.Pass) map[types.Object][]*ast.FuncLit {
+	bound := map[types.Object][]*ast.FuncLit{}
+	record := func(lhs, rhs ast.Expr) {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok {
+			return
+		}
+		lit, ok := ast.Unparen(rhs).(*ast.FuncLit)
+		if !ok {
+			return
+		}
+		if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+			bound[obj] = append(bound[obj], lit)
+		}
+	}
+	pass.Inspect(func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i := range n.Lhs {
+				if i < len(n.Rhs) {
+					record(n.Lhs[i], n.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			for i := range n.Names {
+				if i < len(n.Values) {
+					record(n.Names[i], n.Values[i])
+				}
+			}
+		}
+		return true
+	})
+	return bound
 }
 
 // offloadCallee reports whether call hands func-literal arguments to pool

@@ -1,8 +1,10 @@
 // Corpus for the obspure analyzer: telemetry calls inside offloaded
 // closures (Task.Pure fields and assignments, ComputeAsyncKind/ChargeAsync
 // arguments, par.Go/par.Do thunks) are flagged, including transitively
-// through nested literals and through the obs.Active() chain; telemetry on
-// the simulation thread and offloaded closures without telemetry are clean.
+// through nested literals and through the obs.Active() chain, and including
+// closures bound to a local name before being handed to the offload call
+// (the pipeline scheduler's fold/decode style); telemetry on the simulation
+// thread and offloaded closures without telemetry are clean.
 package a
 
 import (
@@ -68,6 +70,42 @@ func inParDoNested() {
 		}
 		inner()
 	})
+}
+
+// Named closures handed over by identifier are resolved to their literals.
+func inNamedParDo() {
+	fold := func() {
+		obs.Active().SetStep(1, 0) // want `obs\.SetStep called inside par\.Do closure fold`
+	}
+	par.Do(fold)
+}
+
+func inNamedVarDecl() {
+	var decode = func() {
+		obs.Active().Span("n", obs.PhaseCompute, 0, 1, "") // want `obs\.Span called inside ComputeAsyncKind closure decode`
+	}
+	ComputeAsyncKind(10, "dec", decode)
+}
+
+func inNamedReassigned() {
+	work := func() {}
+	work = func() {
+		obs.Enable() // want `obs\.Enable called inside par\.Do closure work`
+	}
+	par.Do(work)
+}
+
+// Clean: a named closure without telemetry offloads fine.
+func namedPureFold() {
+	fold := func() {}
+	par.Do(fold)
+}
+
+// Clean: a named closure with telemetry that only ever runs on the
+// simulation thread is not an offload target.
+func namedOnSimThread() {
+	report := func() { obs.Active().Meta("k", "v") }
+	report()
 }
 
 // Clean: telemetry from the simulation thread is exactly what obs is for.

@@ -78,6 +78,24 @@ func Cluster2(executors int) Spec {
 	}
 }
 
+// CommBound returns a cluster tuned so one AllReduce's network serialization
+// takes about as long as the fold-and-decode compute it carries: bandwidth is
+// 8 bytes per nonzero-per-second of compute — exactly the dense wire cost of
+// one model coordinate — so a superstep splits its time evenly between
+// moving coordinates and combining them. This is the regime where pipelined
+// supersteps pay best (max(compute, comm) approaches half of compute + comm)
+// and the preset the pipeline speedup benchmarks run on.
+func CommBound(executors int) Spec {
+	return Spec{
+		Name:        "commbound",
+		Executors:   executors,
+		ComputeRate: 1e8,
+		Bandwidth:   8e8,
+		Latency:     0.00002,
+		Engine:      engine.Config{TaskBytes: 512, ResultBytes: 128},
+	}
+}
+
 // Test returns a small fast cluster for unit tests: modest rates, no fixed
 // overheads, fully deterministic.
 func Test(executors int) Spec {

@@ -1,0 +1,98 @@
+package data
+
+import (
+	"fmt"
+
+	"mllibstar/internal/glm"
+	"mllibstar/internal/vec"
+)
+
+// CSR is a row-blocked compressed-sparse-row arena for a labelled dataset:
+// every row's feature indices live in one shared int32 slab and every value
+// in one shared float64 slab, with rowPtr marking row boundaries. The
+// per-row glm.Example views are precomputed once, so iterating examples —
+// sequentially or in contiguous mini-batch blocks — touches memory in slab
+// order with zero allocations, instead of chasing two heap pointers per row
+// the way independently allocated rows do. Trainers are unaffected by the
+// change of layout: they consume []glm.Example views and the values are
+// bit-copies of the originals.
+type CSR struct {
+	rowPtr []int
+	ind    []int32
+	val    []float64
+	rows   []glm.Example
+}
+
+// DefaultBlockBytes is the slab footprint BlockRows targets per mini-batch
+// block: a quarter of a typical 1 MiB L2, leaving room for the model slices
+// the kernels stream alongside the rows.
+const DefaultBlockBytes = 256 << 10
+
+// PackExamples copies the examples, in order, into a fresh CSR arena.
+func PackExamples(examples []glm.Example) *CSR {
+	nnz := glm.NNZTotal(examples)
+	c := &CSR{
+		rowPtr: make([]int, len(examples)+1),
+		ind:    make([]int32, 0, nnz),
+		val:    make([]float64, 0, nnz),
+		rows:   make([]glm.Example, len(examples)),
+	}
+	for i, e := range examples {
+		c.ind = append(c.ind, e.X.Ind...)
+		c.val = append(c.val, e.X.Val...)
+		c.rowPtr[i+1] = len(c.ind)
+	}
+	for i, e := range examples {
+		lo, hi := c.rowPtr[i], c.rowPtr[i+1]
+		// Full three-index views: a kernel appending to a row slice would
+		// allocate rather than clobber its neighbour.
+		c.rows[i] = glm.Example{Label: e.Label, X: vec.Sparse{Ind: c.ind[lo:hi:hi], Val: c.val[lo:hi:hi]}}
+	}
+	return c
+}
+
+// Rows returns the per-row example views, backed by the shared slabs.
+func (c *CSR) Rows() []glm.Example { return c.rows }
+
+// NumRows returns the number of rows.
+func (c *CSR) NumRows() int { return len(c.rows) }
+
+// NNZ returns the total number of stored nonzeros.
+func (c *CSR) NNZ() int { return len(c.ind) }
+
+// BlockRows returns how many consecutive rows fit a cache-sized block of
+// targetBytes (0 selects DefaultBlockBytes), counting 12 slab bytes per
+// nonzero, never fewer than one row.
+func (c *CSR) BlockRows(targetBytes int) int {
+	if targetBytes <= 0 {
+		targetBytes = DefaultBlockBytes
+	}
+	if len(c.rows) == 0 {
+		return 1
+	}
+	bytesPerRow := 12 * (c.NNZ() + len(c.rows) - 1) / len(c.rows)
+	if bytesPerRow == 0 {
+		bytesPerRow = 1
+	}
+	n := targetBytes / bytesPerRow
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Batches invokes fn on successive contiguous blocks of at most size rows,
+// in row order. The blocks are subslices of Rows — no copying, no
+// allocation — so a pass over all batches streams the slabs front to back.
+func (c *CSR) Batches(size int, fn func(batch []glm.Example)) {
+	if size <= 0 {
+		panic(fmt.Sprintf("data: Batches(%d)", size))
+	}
+	for lo := 0; lo < len(c.rows); lo += size {
+		hi := lo + size
+		if hi > len(c.rows) {
+			hi = len(c.rows)
+		}
+		fn(c.rows[lo:hi])
+	}
+}

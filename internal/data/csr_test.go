@@ -1,0 +1,98 @@
+package data
+
+import (
+	"reflect"
+	"testing"
+
+	"mllibstar/internal/glm"
+)
+
+func TestPackExamplesPreservesRowsBitForBit(t *testing.T) {
+	d := Generate(Spec{Name: "t", Rows: 200, Cols: 300, NNZPerRow: 7, Seed: 5})
+	c := PackExamples(d.Examples)
+	if c.NumRows() != len(d.Examples) {
+		t.Fatalf("rows = %d, want %d", c.NumRows(), len(d.Examples))
+	}
+	if c.NNZ() != glm.NNZTotal(d.Examples) {
+		t.Fatalf("nnz = %d, want %d", c.NNZ(), glm.NNZTotal(d.Examples))
+	}
+	for i, got := range c.Rows() {
+		want := d.Examples[i]
+		if got.Label != want.Label ||
+			!reflect.DeepEqual(got.X.Ind, want.X.Ind) ||
+			!reflect.DeepEqual(got.X.Val, want.X.Val) {
+			t.Fatalf("row %d changed: %+v -> %+v", i, want, got)
+		}
+	}
+}
+
+// TestPackExamplesRowsAreSlabContiguous verifies the layout claim itself:
+// the row views are windows of two shared slabs, first row at the slab
+// head, last row ending at the slab tail.
+func TestPackExamplesRowsAreSlabContiguous(t *testing.T) {
+	d := Generate(Spec{Name: "t", Rows: 50, Cols: 100, NNZPerRow: 5, Seed: 9})
+	c := PackExamples(d.Examples)
+	rows := c.Rows()
+	first, last := rows[0].X, rows[len(rows)-1].X
+	if len(first.Val) == 0 || len(last.Val) == 0 {
+		t.Fatal("generator produced empty boundary rows; pick another seed")
+	}
+	if &first.Val[0] != &c.val[0] || &first.Ind[0] != &c.ind[0] {
+		t.Error("first row's slices are not the head of the shared slabs")
+	}
+	if &last.Val[len(last.Val)-1] != &c.val[c.NNZ()-1] || &last.Ind[len(last.Ind)-1] != &c.ind[c.NNZ()-1] {
+		t.Error("last row's slices are not the tail of the shared slabs")
+	}
+	// A row view must not be able to append over its neighbour.
+	mid := rows[len(rows)/2].X
+	if cap(mid.Val) != len(mid.Val) || cap(mid.Ind) != len(mid.Ind) {
+		t.Error("row views should be capacity-clamped (three-index slices)")
+	}
+}
+
+func TestBatchesCoverAllRowsInOrderWithoutAllocating(t *testing.T) {
+	d := Generate(Spec{Name: "t", Rows: 103, Cols: 60, NNZPerRow: 4, Seed: 2})
+	c := PackExamples(d.Examples)
+	var seen int
+	c.Batches(16, func(batch []glm.Example) {
+		for _, e := range batch {
+			if e.Label != d.Examples[seen].Label {
+				t.Fatalf("row %d out of order", seen)
+			}
+			seen++
+		}
+	})
+	if seen != c.NumRows() {
+		t.Fatalf("batches covered %d rows, want %d", seen, c.NumRows())
+	}
+	sum := 0.0
+	allocs := testing.AllocsPerRun(20, func() {
+		c.Batches(16, func(batch []glm.Example) {
+			for _, e := range batch {
+				for _, v := range e.X.Val {
+					sum += v
+				}
+			}
+		})
+	})
+	if allocs != 0 {
+		t.Errorf("batch iteration allocates %.1f times per pass, want 0", allocs)
+	}
+	_ = sum
+}
+
+func TestBlockRowsTargetsCacheBlock(t *testing.T) {
+	d := Generate(Spec{Name: "t", Rows: 1000, Cols: 500, NNZPerRow: 8, Seed: 3})
+	c := PackExamples(d.Examples)
+	n := c.BlockRows(0)
+	if n < 1 {
+		t.Fatalf("BlockRows = %d", n)
+	}
+	perRow := 12 * c.NNZ() / c.NumRows()
+	if got := n * perRow; got > 2*DefaultBlockBytes {
+		t.Errorf("block of %d rows spans ~%d slab bytes, want ≤ ~%d", n, got, DefaultBlockBytes)
+	}
+	if c.BlockRows(1) != 1 {
+		t.Errorf("tiny target should clamp to one row")
+	}
+}

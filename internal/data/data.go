@@ -129,7 +129,10 @@ func Generate(spec Spec) *Dataset {
 		}
 		examples[r] = glm.Example{Label: y, X: x}
 	}
-	return &Dataset{Name: spec.Name, Features: spec.Cols, Examples: examples}
+	// Repack the per-row allocations into one CSR arena: generation order is
+	// row-major already, so the views are bit-identical to the scattered rows
+	// — only their memory layout changes.
+	return &Dataset{Name: spec.Name, Features: spec.Cols, Examples: PackExamples(examples).Rows()}
 }
 
 // paperSpec records a Table I dataset at paper scale.
@@ -209,9 +212,12 @@ func Preset(name string, scale float64) (Spec, error) {
 
 // Partition splits the dataset's examples into k contiguous, near-equal
 // partitions, the way Spark partitions an input file across executors. The
-// examples are first shuffled deterministically (seeded by the dataset name
-// length) so partitions are statistically alike — the paper's setting, where
-// data is randomly distributed across workers.
+// examples are first shuffled deterministically so partitions are
+// statistically alike — the paper's setting, where data is randomly
+// distributed across workers. Each partition is repacked into its own CSR
+// arena (PackExamples): after the shuffle scatters rows, the repack restores
+// slab locality in exactly the order the owning executor will stream them,
+// with values bit-copied so training numerics cannot depend on the layout.
 func (d *Dataset) Partition(k int, seed int64) [][]glm.Example {
 	if k <= 0 {
 		panic(fmt.Sprintf("data: Partition(%d)", k))
@@ -224,7 +230,7 @@ func (d *Dataset) Partition(k int, seed int64) [][]glm.Example {
 	parts := make([][]glm.Example, k)
 	for i := 0; i < k; i++ {
 		lo, hi := vec.PartitionRange(len(shuffled), k, i)
-		parts[i] = shuffled[lo:hi]
+		parts[i] = PackExamples(shuffled[lo:hi]).Rows()
 	}
 	return parts
 }

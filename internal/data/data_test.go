@@ -220,11 +220,35 @@ func TestReadLibSVMErrors(t *testing.T) {
 		"1 nope",    // malformed feature
 		"1 0:1",     // index < 1
 		"1 2:1 1:1", // decreasing indices
+		"1 1:1 1:2", // duplicate index
 		"1 1:abc",   // bad value
 	}
 	for _, in := range cases {
 		if _, err := ReadLibSVM(strings.NewReader(in), "x"); err == nil {
 			t.Errorf("input %q: want error", in)
+		}
+	}
+}
+
+// TestReadLibSVMRejectsDuplicateAndDescending pins the two within-row index
+// malformations to distinct, line-numbered diagnostics: a duplicate index
+// (double-emitted feature) and a descending index (unsorted writer) are
+// different bugs upstream and the message should say which one happened.
+func TestReadLibSVMRejectsDuplicateAndDescending(t *testing.T) {
+	cases := []struct {
+		in, want string
+	}{
+		{"1 1:1\n1 4:1 4:2\n", "line 2: duplicate feature index 4"},
+		{"1 1:1\n1 5:1 3:2\n", "line 2: descending feature index 3 after 5"},
+	}
+	for _, tc := range cases {
+		_, err := ReadLibSVM(strings.NewReader(tc.in), "x")
+		if err == nil {
+			t.Errorf("input %q: want error", tc.in)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("input %q: error %q, want it to mention %q", tc.in, err, tc.want)
 		}
 	}
 }

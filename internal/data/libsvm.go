@@ -35,11 +35,28 @@ func WriteLibSVM(w io.Writer, d *Dataset) error {
 // ReadLibSVM parses libsvm text into a dataset. Labels "1"/"+1" map to +1
 // and "0"/"-1" to -1 (both labelling conventions appear in the public
 // datasets the paper uses). Feature indices are 1-based in the file and
-// converted to 0-based. Blank lines and lines starting with '#' are skipped.
+// converted to 0-based; within a row they must be strictly ascending, and
+// the reader distinguishes the two malformations — a duplicate index and a
+// descending index — in its errors, since they have different causes
+// (double-emitted feature vs. unsorted writer) and both would corrupt the
+// dot-product kernels if let through. Blank lines and lines starting with
+// '#' are skipped.
+//
+// Rows are parsed straight into one CSR arena (see CSR): feature indices
+// and values append to two shared slabs and the per-row examples are views
+// carved out at the end, so loading allocates per slab growth, not per row,
+// and the loaded dataset iterates with the same locality Generate's packed
+// output has.
 func ReadLibSVM(r io.Reader, name string) (*Dataset, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<24)
 	d := &Dataset{Name: name}
+	var (
+		ind    []int32
+		val    []float64
+		rowPtr = []int{0}
+		labels []float64
+	)
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
@@ -52,8 +69,7 @@ func ReadLibSVM(r io.Reader, name string) (*Dataset, error) {
 		if err != nil {
 			return nil, fmt.Errorf("data: line %d: %v", lineNo, err)
 		}
-		ind := make([]int32, 0, len(fields)-1)
-		val := make([]float64, 0, len(fields)-1)
+		prev := 0 // last 1-based index seen in this row; valid ones are ≥ 1
 		for _, f := range fields[1:] {
 			colon := strings.IndexByte(f, ':')
 			if colon < 0 {
@@ -63,6 +79,13 @@ func ReadLibSVM(r io.Reader, name string) (*Dataset, error) {
 			if err != nil || ix < 1 {
 				return nil, fmt.Errorf("data: line %d: bad index %q", lineNo, f[:colon])
 			}
+			if ix == prev {
+				return nil, fmt.Errorf("data: line %d: duplicate feature index %d", lineNo, ix)
+			}
+			if ix < prev {
+				return nil, fmt.Errorf("data: line %d: descending feature index %d after %d", lineNo, ix, prev)
+			}
+			prev = ix
 			v, err := strconv.ParseFloat(f[colon+1:], 64)
 			if err != nil {
 				return nil, fmt.Errorf("data: line %d: bad value %q", lineNo, f[colon+1:])
@@ -70,17 +93,19 @@ func ReadLibSVM(r io.Reader, name string) (*Dataset, error) {
 			ind = append(ind, int32(ix-1))
 			val = append(val, v)
 		}
-		x, err := vec.NewSparse(ind, val)
-		if err != nil {
-			return nil, fmt.Errorf("data: line %d: %v", lineNo, err)
+		if prev > d.Features {
+			d.Features = prev
 		}
-		if mx := int(x.MaxIndex()) + 1; mx > d.Features {
-			d.Features = mx
-		}
-		d.Examples = append(d.Examples, glm.Example{Label: label, X: x})
+		labels = append(labels, label)
+		rowPtr = append(rowPtr, len(ind))
 	}
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("data: reading libsvm: %w", err)
+	}
+	d.Examples = make([]glm.Example, len(labels))
+	for i, label := range labels {
+		lo, hi := rowPtr[i], rowPtr[i+1]
+		d.Examples[i] = glm.Example{Label: label, X: vec.Sparse{Ind: ind[lo:hi:hi], Val: val[lo:hi:hi]}}
 	}
 	return d, nil
 }

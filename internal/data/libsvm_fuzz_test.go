@@ -16,8 +16,10 @@ func FuzzReadLibSVM(f *testing.F) {
 		"+1 1:1\n-1 2:-0.75\n",
 		"# comment\n\n1 1:1\n",
 		"1 1:1e300\n",
-		"1 0:1\n",     // invalid: index < 1
-		"1 2:1 1:1\n", // invalid: decreasing
+		"1 0:1\n",         // invalid: index < 1
+		"1 2:1 1:1\n",     // invalid: descending indices within a row
+		"1 1:1 1:2\n",     // invalid: duplicate index within a row
+		"1 3:1 5:2 4:3\n", // invalid: descending after a valid prefix
 		"x 1:1\n",     // invalid label
 		"1 1:\n",      // empty value
 		"1 :\n",       // empty both

@@ -116,6 +116,7 @@ func (s *Sim) Spawn(name string, fn func(p *Proc)) *Proc {
 	p := &Proc{sim: s, name: name, id: s.nextID, resume: make(chan bool)}
 	s.nextID++
 	s.procs = append(s.procs, p)
+	//mlstar:nolint determinism -- the kernel's own process launch: the goroutine runs only when the scheduler hands it the baton
 	go func() {
 		defer func() {
 			p.done = true

@@ -1,0 +1,25 @@
+package des
+
+// Fork spawns fn as a child process of p, scheduled at the current virtual
+// time, and returns a handle any process can Wait on. It is the structured
+// fork/join form of Sim.Spawn: where Spawn creates free-running servers at
+// simulation setup, Fork creates a bounded helper inside a running process —
+// the pipelined collectives fork a sender process so outbound serialization
+// overlaps the parent's receive-and-fold loop, and join it (or let a
+// causally later receive prove it finished) before the buffers it reads are
+// reused.
+func Fork(p *Proc, name string, fn func(child *Proc)) *Join {
+	j := &Join{done: NewQueue[struct{}](p.Sim(), name+"/join")}
+	p.Sim().Spawn(name, func(child *Proc) {
+		fn(child)
+		j.done.Put(struct{}{})
+	})
+	return j
+}
+
+// Join signals a forked child's completion.
+type Join struct{ done *Queue[struct{}] }
+
+// Wait blocks p until the forked process has returned. Completion is
+// delivered through a queue, so Wait may be called at most once per Fork.
+func (j *Join) Wait(p *Proc) { j.done.Get(p) }

@@ -265,6 +265,7 @@ var ganttColors = [trace.KindCount]string{
 	trace.Pull:      "#c23b78",
 	trace.Push:      "#eb6834",
 	trace.Encode:    "#2aa0c8",
+	trace.Pipeline:  "#f2d8a7",
 }
 
 // ganttLegend is the legend layout: two labeled families, then the rest.
@@ -274,7 +275,7 @@ var ganttLegend = []struct {
 }{
 	{"computation:", []trace.Kind{trace.Compute, trace.Aggregate, trace.Update, trace.Encode}},
 	{"communication:", []trace.Kind{trace.Send, trace.Recv, trace.Pull, trace.Push}},
-	{"other:", []trace.Kind{trace.Barrier, trace.Stage}},
+	{"other:", []trace.Kind{trace.Barrier, trace.Pipeline, trace.Stage}},
 }
 
 // RenderGanttSVG renders a recorded trace as an SVG gantt chart: one row

@@ -21,6 +21,8 @@ func kindForSpan(ph Phase) trace.Kind {
 		return trace.Encode
 	case PhaseBarrier:
 		return trace.Barrier
+	case PhasePipeline:
+		return trace.Pipeline
 	case PhaseSchedule:
 		return trace.Stage
 	case PhasePSPull:

@@ -44,6 +44,7 @@ const (
 	PhaseEncode   Phase = "encode"    // sparse encode/decode of a model-delta message
 	PhaseBarrier  Phase = "barrier"   // waiting at a BSP barrier
 	PhaseSchedule Phase = "schedule"  // driver scheduling work
+	PhasePipeline Phase = "pipeline"  // pipelined collective stalled on a chunk (observed, never charged)
 
 	PhaseTreeAgg       Phase = "tree-agg"       // MLlib treeAggregate legs (leaf→aggregator→driver)
 	PhaseReduceScatter Phase = "reduce-scatter" // AllReduce phase 1 shuffle
@@ -162,6 +163,8 @@ func PhaseForKind(k trace.Kind) Phase {
 		return PhasePSPush
 	case trace.Encode:
 		return PhaseEncode
+	case trace.Pipeline:
+		return PhasePipeline
 	}
 	return PhaseCompute
 }

@@ -127,6 +127,6 @@ func Serve(addr string, s *obs.Sink) (string, func(), error) {
 		return "", nil, err
 	}
 	srv := &http.Server{Handler: Handler(s)}
-	go func() { _ = srv.Serve(ln) }()
+	go func() { _ = srv.Serve(ln) }() //mlstar:nolint determinism -- live dashboard server; serves wall-clock HTTP, never feeds results back into the simulation
 	return ln.Addr().String(), func() { _ = srv.Close() }, nil
 }

@@ -1,15 +1,16 @@
 // Package prof wires the standard Go profiling endpoints and the engine
 // switches into the repository's CLIs: -par (the deterministic
 // compute-offload pool), -sparse (SparCML-style sparse model-delta
-// exchange), -obs/-obs-http (the structured telemetry layer),
+// exchange), -pipeline/-chunks (chunked collectives overlapping compute
+// with communication), -obs/-obs-http (the structured telemetry layer),
 // -cpuprofile, -memprofile, and -trace. Results are bit-identical
 // with -par on or off — the flag only changes wall-clock behaviour — which
 // is what makes before/after profiles of the same run comparable. -sparse
-// keeps every training numeric bit-identical too, but shrinks simulated
-// communication bytes and therefore virtual time (that is its point), so
-// compare simulated timings only within one -sparse setting. -obs observes
-// without charging: enabling it changes no numerics, bytes, or virtual
-// times, only records them.
+// and -pipeline keep every training numeric and byte count bit-identical
+// too, but shrink simulated time (that is their point), so compare
+// simulated timings only within one -sparse/-pipeline setting. -obs
+// observes without charging: enabling it changes no numerics, bytes, or
+// virtual times, only records them.
 package prof
 
 import (
@@ -21,6 +22,7 @@ import (
 	rtrace "runtime/trace"
 	"strconv"
 
+	"mllibstar/internal/allreduce"
 	"mllibstar/internal/obs"
 	"mllibstar/internal/obs/obshttp"
 	"mllibstar/internal/par"
@@ -30,9 +32,11 @@ import (
 // Config holds the parsed flag values. Obtain one with Register, then call
 // Start after flag.Parse.
 type Config struct {
-	par     onOff
-	sparse  onOff
-	workers *int
+	par      onOff
+	sparse   onOff
+	pipeline onOff
+	chunks   *int
+	workers  *int
 	cpu     *string
 	mem     *string
 	trace   *string
@@ -73,6 +77,8 @@ func Register(fs *flag.FlagSet) *Config {
 	c := &Config{par: true}
 	fs.Var(&c.par, "par", "run pure numeric closures on the offload pool: on or off (bit-identical results; falls back to inline when GOMAXPROCS=1)")
 	fs.Var(&c.sparse, "sparse", "delta-encode model exchange when the nonzero coding is smaller: on or off (bit-identical numerics; changes simulated bytes and time)")
+	fs.Var(&c.pipeline, "pipeline", "pipeline the AllReduce supersteps: split the model into chunks and overlap chunk transfer with folding (bit-identical numerics and bytes; changes simulated time)")
+	c.chunks = fs.Int("chunks", 0, "chunk count for -pipeline (0 = default "+strconv.Itoa(allreduce.DefaultChunks)+")")
 	c.workers = fs.Int("parworkers", 0, "offload pool size (0 = GOMAXPROCS)")
 	c.cpu = fs.String("cpuprofile", "", "write a CPU profile to this file")
 	c.mem = fs.String("memprofile", "", "write a heap profile to this file on exit")
@@ -88,6 +94,7 @@ func Register(fs *flag.FlagSet) *Config {
 func (c *Config) Start() (stop func(), err error) {
 	par.Configure(bool(c.par), *c.workers)
 	sparse.Configure(bool(c.sparse))
+	allreduce.Configure(bool(c.pipeline), *c.chunks)
 
 	var cpuFile, traceFile *os.File
 	if *c.cpu != "" {

@@ -176,6 +176,24 @@ func (nd *Node) ComputeKind(p *des.Proc, work float64, kind trace.Kind, note str
 	return d
 }
 
+// Observe records a span over [start, end] — already-elapsed virtual time —
+// in the trace and telemetry without consuming any: observe-never-charge.
+// The pipelined collectives use it to book the time their task process
+// spent blocked on a chunk as a Pipeline span, making the remaining overlap
+// headroom visible to attribution while leaving every charge, byte count,
+// and result untouched. p fixes which process the observation describes;
+// end must not lie in the future.
+func (nd *Node) Observe(p *des.Proc, kind trace.Kind, start, end float64, note string) {
+	if end > p.Now() {
+		panic(fmt.Sprintf("simnet: Observe span ending at %g ahead of now %g on %s", end, p.Now(), nd.spec.Name))
+	}
+	if end <= start {
+		return
+	}
+	nd.net.rec.Add(nd.spec.Name, kind, start, end, note)
+	obs.Active().Span(nd.spec.Name, obs.PhaseForKind(kind), start, end, note)
+}
+
 // ComputeAsyncKind overlaps a pure numeric closure with its virtual-time
 // charge: fn is submitted to the offload pool (package par), the calling
 // process is charged work on the simulated clock exactly as ComputeKind

@@ -1,0 +1,105 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// sliceRanges cuts [0, n) into c contiguous chunks the way the pipelined
+// collectives do (vec.PartitionRange, re-derived here to keep the package
+// dependency-free).
+func sliceRanges(n, c int) [][2]int {
+	out := make([][2]int, c)
+	for i := 0; i < c; i++ {
+		lo := i * n / c
+		hi := (i + 1) * n / c
+		out[i] = [2]int{lo, hi}
+	}
+	return out
+}
+
+func TestSlicePartitionsBytesAndDecodesIdentically(t *testing.T) {
+	withEnabled(t, true, func() {
+		rng := rand.New(rand.NewSource(42))
+		for _, tc := range []struct {
+			name   string
+			hasRef bool
+			nnz    int
+		}{
+			{"sparse-with-ref", true, 30},
+			{"sparse-nil-ref", false, 30},
+			{"dense-with-ref", true, 900},
+			{"dense-nil-ref", false, 900},
+		} {
+			const n = 1000
+			var ref, d []float64
+			d = make([]float64, n)
+			if tc.hasRef {
+				ref = make([]float64, n)
+				for i := range ref {
+					ref[i] = rng.NormFloat64()
+				}
+				copy(d, ref)
+			}
+			for i := 0; i < tc.nnz; i++ {
+				d[rng.Intn(n)] = rng.NormFloat64()
+			}
+			parent := EncodeCopy(d, ref)
+			for _, c := range []int{1, 3, 7, 8} {
+				total := 0.0
+				got := make([]float64, n)
+				for i := range got {
+					got[i] = math.NaN()
+				}
+				for _, r := range sliceRanges(n, c) {
+					ce := parent.Slice(r[0], r[1])
+					if ce.IsSparse() != parent.IsSparse() {
+						t.Fatalf("%s c=%d: chunk changed encoding", tc.name, c)
+					}
+					total += ce.WireBytes()
+					var refChunk []float64
+					if ref != nil {
+						refChunk = ref[r[0]:r[1]]
+					}
+					ce.DecodeInto(got[r[0]:r[1]], refChunk)
+				}
+				if total != parent.WireBytes() {
+					t.Errorf("%s c=%d: chunk bytes %g, parent %g", tc.name, c, total, parent.WireBytes())
+				}
+				if !sameBits(got, d) {
+					t.Errorf("%s c=%d: chunked decode differs from original", tc.name, c)
+				}
+			}
+		}
+	})
+}
+
+func TestSliceSparseRefLengthChecked(t *testing.T) {
+	withEnabled(t, true, func() {
+		const n = 100
+		ref := make([]float64, n)
+		d := make([]float64, n)
+		d[7] = 1
+		ce := EncodeCopy(d, ref).Slice(0, 50)
+		if !ce.IsSparse() {
+			t.Skip("encoding not sparse; switch thresholds changed")
+		}
+		defer func() {
+			if recover() == nil {
+				t.Fatal("decoding a chunk against a full-length ref should panic")
+			}
+		}()
+		ce.DecodeInto(make([]float64, 50), ref) // ref is n long, chunk wants 50
+	}) //nolint — panic expected above
+}
+
+func TestSliceOutOfRangePanics(t *testing.T) {
+	e := EncodeCopy(make([]float64, 10), nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	e.Slice(4, 11)
+}

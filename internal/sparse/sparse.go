@@ -295,6 +295,36 @@ func (e Enc) Dense(ref []float64) []float64 {
 	return dst
 }
 
+// Slice restricts the encoding to the coordinate window [lo, hi) of the
+// encoded vector, inheriting the parent's dense/sparse choice instead of
+// re-deciding it. That inheritance is what the pipelined collectives in
+// internal/allreduce rely on for byte-accounting invariance: the C chunk
+// messages a partition is split into charge exactly what the one unchunked
+// message would have — the dense form's 8·len splits as 8·chunkLen, and the
+// sparse form's 12·nnz entries partition by window — so chunking changes
+// message count and timing but never total bytes. Values are shared with
+// the parent; sparse indices are rebased to the window, and a sparse slice
+// decodes against the matching window of the parent's reference.
+func (e Enc) Slice(lo, hi int) Enc {
+	if lo < 0 || hi < lo || hi > e.n {
+		panic(fmt.Sprintf("sparse: Slice [%d,%d) of %d", lo, hi, e.n))
+	}
+	if !e.sparse {
+		return Enc{n: hi - lo, dense: e.dense[lo:hi]}
+	}
+	a := sort.Search(len(e.sv.Ind), func(i int) bool { return e.sv.Ind[i] >= int32(lo) })
+	b := sort.Search(len(e.sv.Ind), func(i int) bool { return e.sv.Ind[i] >= int32(hi) })
+	ind := make([]int32, b-a)
+	for i := range ind {
+		ind[i] = e.sv.Ind[a+i] - int32(lo)
+	}
+	refLen := e.refLen
+	if refLen >= 0 {
+		refLen = hi - lo
+	}
+	return Enc{n: hi - lo, sparse: true, sv: Vec{Len: hi - lo, Ind: ind, Val: e.sv.Val[a:b]}, refLen: refLen}
+}
+
 // DecodeInto reconstructs the original vector into dst (length n), bitwise.
 // Unlike Dense it always writes dst, so the caller owns the result.
 func (e Enc) DecodeInto(dst, ref []float64) {

@@ -27,11 +27,12 @@ const (
 	Pull                  // parameter-server model pull (request + range replies)
 	Push                  // parameter-server delta push
 	Encode                // sparse encode/decode of a model-delta message
+	Pipeline              // pipelined collective stalled waiting for a chunk
 
 	KindCount // number of kinds; keep last
 )
 
-var kindNames = [...]string{"compute", "send", "recv", "aggregate", "update", "barrier", "stage", "pull", "push", "encode"}
+var kindNames = [...]string{"compute", "send", "recv", "aggregate", "update", "barrier", "stage", "pull", "push", "encode", "pipeline"}
 
 // String returns the lower-case kind name used in CSV output.
 func (k Kind) String() string {
@@ -42,7 +43,7 @@ func (k Kind) String() string {
 }
 
 // glyphs used by the ASCII gantt renderer, one per Kind.
-var kindGlyphs = [...]byte{'C', 's', 'r', 'A', 'U', '.', '#', 'p', 'P', 'e'}
+var kindGlyphs = [...]byte{'C', 's', 'r', 'A', 'U', '.', '#', 'p', 'P', 'e', 'w'}
 
 // Span is one contiguous activity interval on one node.
 type Span struct {
@@ -184,7 +185,8 @@ func (r *Recorder) BusyTime() map[string]map[Kind]float64 {
 }
 
 // Utilization returns the fraction of [0, Horizon] each node spends in any
-// recorded activity except Barrier (waiting does not count as useful work).
+// recorded activity except Barrier and Pipeline (waiting — at a BSP barrier
+// or for a pipelined chunk — does not count as useful work).
 func (r *Recorder) Utilization() map[string]float64 {
 	out := map[string]float64{}
 	h := r.Horizon()
@@ -197,7 +199,7 @@ func (r *Recorder) Utilization() map[string]float64 {
 		// map order here would make utilization differ in the last ulp
 		// between runs.
 		for k := Kind(0); k < KindCount; k++ {
-			if k != Barrier {
+			if k != Barrier && k != Pipeline {
 				busy += kinds[k]
 			}
 		}
@@ -265,7 +267,7 @@ func (r *Recorder) RenderASCII(width int) string {
 	for _, n := range nodes {
 		fmt.Fprintf(&b, "%*s  %s\n", nameW, n, rows[n])
 	}
-	b.WriteString("legend: computation[C=compute A=aggregate U=update e=encode] communication[s=send r=recv p=ps-pull P=ps-push] other[.=barrier-wait #=stage-scheduling |=marker]\n")
+	b.WriteString("legend: computation[C=compute A=aggregate U=update e=encode] communication[s=send r=recv p=ps-pull P=ps-push] other[.=barrier-wait w=pipeline-stall #=stage-scheduling |=marker]\n")
 	return b.String()
 }
 
