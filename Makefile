@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint fuzz bench bench-smoke obs docs check clean
+.PHONY: build test race lint lint-fix lint-bench fuzz bench bench-smoke obs docs check clean
 
 build: ## compile everything
 	$(GO) build ./...
@@ -14,8 +14,18 @@ test: ## unit tests
 race: ## unit tests under the race detector
 	$(GO) test -race ./...
 
-lint: ## go vet + the repo's own analyzers (internal/analysis)
-	$(GO) run ./cmd/mlstar-lint ./...
+lint: ## go vet + the repo's own analyzers, memoized in .mlstar-lint-cache.json
+	$(GO) run ./cmd/mlstar-lint -stats ./...
+
+lint-fix: ## apply SuggestedFixes in place, then assert a second pass finds nothing left (idempotency)
+	$(GO) run ./cmd/mlstar-lint -fix ./...
+	$(GO) run ./cmd/mlstar-lint -fix ./... | tee /dev/stderr | grep -q '^mlstar-lint: applied 0 fix(es)'
+
+lint-bench: ## cold vs warm lint-suite wall time -> BENCH_6.json
+	@rm -f .mlstar-lint-cache.json
+	( $(GO) run ./cmd/mlstar-lint -vet=false -bench cold ./... && \
+	  $(GO) run ./cmd/mlstar-lint -vet=false -bench warm ./... ) \
+		| tee /dev/stderr | $(GO) run ./cmd/mlstar-benchjson -out BENCH_6.json
 
 fuzz: ## short fuzz runs: libsvm reader + sparse encoding + telemetry event round-trips
 	$(GO) test -fuzz=FuzzReadLibSVM -fuzztime=10s ./internal/data
@@ -45,3 +55,4 @@ check: build lint race fuzz docs ## everything CI runs
 
 clean:
 	$(GO) clean ./...
+	rm -f .mlstar-lint-cache.json

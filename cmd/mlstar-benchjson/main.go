@@ -22,6 +22,9 @@
 //     and numerics are identical by construction).
 //   - allocs_per_batch_csr: the layout=csr sub-run's allocs/op — allocations
 //     per cache-blocked mini-batch pass over the CSR arena, guarded at 0.
+//   - lint_cache_speedup: ns/op(cache=cold) / ns/op(cache=warm) for the
+//     BenchmarkLintSuite lines `mlstar-lint -bench` emits — how much the
+//     content-hash result cache shortens the lint gate (make lint-bench).
 //
 // Usage:
 //
@@ -86,6 +89,10 @@ type artifact struct {
 	// mini-batch pass over the CSR arena. The bench-smoke guard
 	// (TestCSRBatchZeroAllocs) holds this at exactly 0.
 	AllocsPerBatchCSR map[string]float64 `json:"allocs_per_batch_csr,omitempty"`
+	// LintCacheSpeedup maps a benchmark's base name (LintSuite) to
+	// ns/op(cache=cold) / ns/op(cache=warm): how much of the lint gate the
+	// content-hash result cache skips when nothing changed.
+	LintCacheSpeedup map[string]float64 `json:"lint_cache_speedup,omitempty"`
 }
 
 // benchPrefix matches the name and iteration count of a result row; the
@@ -170,6 +177,8 @@ func parse(sc *bufio.Scanner) (*artifact, error) {
 		func(r benchResult) float64 { return r.NsPerOp })
 	art.SimSpeedupPipeline = ratios(art.Benchmarks, "/pipeline=off", "/pipeline=on",
 		func(r benchResult) float64 { return r.Metrics["simsec/op"] })
+	art.LintCacheSpeedup = ratios(art.Benchmarks, "/cache=cold", "/cache=warm",
+		func(r benchResult) float64 { return r.NsPerOp })
 	for _, r := range art.Benchmarks {
 		base, ok := strings.CutSuffix(r.Name, "/obs=on")
 		if !ok || r.Metrics["obsevents/op"] <= 0 {

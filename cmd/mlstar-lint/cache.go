@@ -1,0 +1,150 @@
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+
+	"mllibstar/internal/analysis"
+	"mllibstar/internal/analysis/loader"
+)
+
+// The result cache: lint findings are a pure function of (analyzer suite,
+// package source, dependency source), so a package whose key is unchanged
+// since the last run can be answered from disk without parsing or
+// type-checking anything.
+//
+// The key construction makes staleness impossible rather than unlikely:
+//
+//   - the seed hashes the mlstar-lint binary itself (plus the toolchain
+//     version), so editing ANY analyzer — a message string, a scope list, a
+//     transfer function — rebuilds the binary and invalidates every entry;
+//   - a package's key hashes its file contents, so edits (including adding
+//     or removing //mlstar:nolint directives) invalidate it;
+//   - a package's key chains in the keys of its in-module dependencies, so
+//     a change to a callee invalidates every package whose interprocedural
+//     facts could have depended on it, transitively.
+//
+// Cached entries store the post-suppression findings and the facts the
+// package's analysis exported; a warm hit replays the facts into the run's
+// store so downstream cold packages still resolve cross-package summaries.
+
+// cacheFileName sits at the module root, next to go.mod.
+const cacheFileName = ".mlstar-lint-cache.json"
+
+// finding is one reported diagnostic, in persistable form.
+type finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// cacheEntry is one package's memoized lint result.
+type cacheEntry struct {
+	Key      string                `json:"key"`
+	Findings []finding             `json:"findings,omitempty"`
+	Facts    []analysis.FactRecord `json:"facts,omitempty"`
+}
+
+// cacheFile is the on-disk cache: one entry per package path, valid only
+// while the seed matches the current binary.
+type cacheFile struct {
+	Seed     string                `json:"seed"`
+	Packages map[string]cacheEntry `json:"packages"`
+}
+
+// binarySeed hashes the running mlstar-lint binary and the toolchain
+// version. Any change to the analyzer suite changes the binary and thus the
+// seed, wiping the cache wholesale — the only safe reaction to an analyzer
+// edit.
+func binarySeed() (string, error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return "", fmt.Errorf("resolving own binary: %v", err)
+	}
+	data, err := os.ReadFile(exe)
+	if err != nil {
+		return "", fmt.Errorf("reading own binary: %v", err)
+	}
+	sum := sha256.Sum256(fmt.Appendf(nil, "%x|%s|%s/%s",
+		sha256.Sum256(data), runtime.Version(), runtime.GOOS, runtime.GOARCH))
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// packageKey hashes one package's identity: the seed, its import path, the
+// content of each of its files, and the keys of its in-set dependencies
+// (depKeys is populated in dependency order, so they are always present).
+func packageKey(seed string, e loader.Entry, depKeys map[string]string) (string, error) {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\x00%s\x00", seed, e.ImportPath)
+	for _, f := range e.GoFiles {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			return "", fmt.Errorf("hashing %s: %v", f, err)
+		}
+		sum := sha256.Sum256(data)
+		fmt.Fprintf(h, "%s\x00%x\x00", f, sum)
+	}
+	deps := make([]string, 0, len(e.Imports))
+	for _, imp := range e.Imports {
+		if k, ok := depKeys[imp]; ok {
+			deps = append(deps, imp+"="+k)
+		}
+	}
+	sort.Strings(deps)
+	fmt.Fprintf(h, "%s", strings.Join(deps, "\x00"))
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// cachePath locates the cache file at the module root. Outside a module it
+// falls back to the working directory.
+func cachePath() string {
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	gomod := strings.TrimSpace(string(out))
+	if err != nil || gomod == "" || gomod == os.DevNull {
+		return cacheFileName
+	}
+	return filepath.Join(filepath.Dir(gomod), cacheFileName)
+}
+
+// loadCache reads the cache, returning an empty one on any problem (a
+// corrupt or missing cache just means a cold run) or on seed mismatch.
+func loadCache(path, seed string) *cacheFile {
+	empty := &cacheFile{Seed: seed, Packages: map[string]cacheEntry{}}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return empty
+	}
+	var c cacheFile
+	if json.Unmarshal(data, &c) != nil || c.Seed != seed || c.Packages == nil {
+		return empty
+	}
+	return &c
+}
+
+// saveCache writes the cache atomically (write temp, rename). A failure is
+// reported but non-fatal: the next run is merely cold.
+func saveCache(path string, c *cacheFile) {
+	data, err := json.MarshalIndent(c, "", "\t")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mlstar-lint: encoding cache: %v\n", err)
+		return
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "mlstar-lint: writing cache: %v\n", err)
+		return
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		fmt.Fprintf(os.Stderr, "mlstar-lint: writing cache: %v\n", err)
+	}
+}

@@ -15,6 +15,17 @@ import (
 	"strings"
 	"testing"
 
+	"mllibstar/internal/analysis"
+	"mllibstar/internal/analysis/buflife"
+	"mllibstar/internal/analysis/costcharge"
+	"mllibstar/internal/analysis/determinism"
+	"mllibstar/internal/analysis/detflow"
+	"mllibstar/internal/analysis/errdiscard"
+	"mllibstar/internal/analysis/floateq"
+	"mllibstar/internal/analysis/gocapture"
+	"mllibstar/internal/analysis/obspure"
+	"mllibstar/internal/analysis/pkgdoc"
+	"mllibstar/internal/analysis/vecalias"
 	"mllibstar/internal/bench"
 )
 
@@ -97,6 +108,29 @@ func makeTargets(t *testing.T) map[string]bool {
 		targets[m[1]] = true
 	}
 	return targets
+}
+
+// TestDocsAnalyzers verifies that README.md and ARCHITECTURE.md document
+// every analyzer in the mlstar-lint suite by name — adding an analyzer
+// without telling readers what gate their code now has to pass fails here.
+func TestDocsAnalyzers(t *testing.T) {
+	suite := []*analysis.Analyzer{
+		determinism.Analyzer, detflow.Analyzer,
+		vecalias.Analyzer, buflife.Analyzer, costcharge.Analyzer,
+		floateq.Analyzer, errdiscard.Analyzer, gocapture.Analyzer,
+		obspure.Analyzer, pkgdoc.Analyzer,
+	}
+	for _, doc := range []string{"README.md", "ARCHITECTURE.md"} {
+		text, err := os.ReadFile(doc)
+		if err != nil {
+			t.Fatalf("reading %s: %v", doc, err)
+		}
+		for _, a := range suite {
+			if !strings.Contains(string(text), a.Name) {
+				t.Errorf("%s: analyzer %q is in the lint suite but never mentioned", doc, a.Name)
+			}
+		}
+	}
 }
 
 // TestDocsCommands verifies the commands quoted in the docs:

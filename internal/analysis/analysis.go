@@ -33,6 +33,13 @@ type Analyzer struct {
 	// whatever package they load.
 	DefaultScope []string
 
+	// FactsAll asks the driver to run the analyzer on every package — with
+	// reporting disabled outside DefaultScope — so cross-package facts are
+	// computed even for helper packages the analyzer does not diagnose
+	// (e.g. detflow needs taint summaries for internal/vec although its
+	// findings are scoped to simulated code).
+	FactsAll bool
+
 	// Run applies the check to one package and reports findings through
 	// pass.Report. The returned error aborts the whole lint run (reserved
 	// for internal failures, not findings).
@@ -61,19 +68,57 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	// Facts is the cross-package fact store, shared across the whole lint
+	// run. The driver processes packages in dependency order, so facts
+	// exported while analyzing a package's dependencies are importable
+	// here. Nil in harnesses that run a single package; use FactStore to
+	// get a non-nil view.
+	Facts *Facts
+
 	// Report delivers one diagnostic. The driver installs it.
 	Report func(Diagnostic)
+}
+
+// FactStore returns the pass's fact store, creating an empty local one when
+// the driver did not install any (single-package test harnesses).
+func (p *Pass) FactStore() *Facts {
+	if p.Facts == nil {
+		p.Facts = NewFacts()
+	}
+	return p.Facts
 }
 
 // Diagnostic is one finding at a source position.
 type Diagnostic struct {
 	Pos     token.Pos
 	Message string
+	// Fixes are mechanical rewrites that resolve the finding, applied by
+	// `mlstar-lint -fix`. Optional; the first applicable fix wins.
+	Fixes []SuggestedFix
+}
+
+// SuggestedFix is one self-contained mechanical rewrite.
+type SuggestedFix struct {
+	Message string
+	Edits   []TextEdit
+}
+
+// TextEdit replaces the source range [Pos, End) with NewText. A pure
+// insertion has Pos == End; a pure deletion has empty NewText.
+type TextEdit struct {
+	Pos     token.Pos
+	End     token.Pos
+	NewText string
 }
 
 // Reportf reports a formatted diagnostic at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// ReportFix reports a diagnostic carrying one suggested fix.
+func (p *Pass) ReportFix(pos token.Pos, fix SuggestedFix, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...), Fixes: []SuggestedFix{fix}})
 }
 
 // Inspect walks every file of the pass in depth-first order, calling f for

@@ -1,0 +1,21 @@
+package buflife_test
+
+import (
+	"testing"
+
+	"mllibstar/internal/analysis/analysistest"
+	"mllibstar/internal/analysis/buflife"
+	"mllibstar/internal/analysis/vecalias"
+)
+
+func TestBuflife(t *testing.T) {
+	analysistest.Run(t, "testdata/src/a", buflife.Analyzer)
+}
+
+// Every Put in the corpus hides inside a nested branch, behind defer, or
+// inside a callee, and every escape involves a local rather than a
+// parameter — all outside the statement-list scope of the syntactic
+// vecalias check, which must report nothing here.
+func TestVecaliasMissesFlowSensitiveLifetimes(t *testing.T) {
+	analysistest.RunSilent(t, "testdata/src/a", vecalias.Analyzer)
+}

@@ -1,0 +1,399 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// build parses a function body and constructs its CFG. The source is parse-
+// only (no type checking), so bodies may reference undeclared identifiers.
+func build(t *testing.T, body string) *Graph {
+	t.Helper()
+	src := "package p\n\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == "f" {
+			return New(fd.Body)
+		}
+	}
+	t.Fatal("func f not found")
+	return nil
+}
+
+// blocksOf returns the blocks of the given kind in creation order.
+func blocksOf(g *Graph, kind string) []*Block {
+	var out []*Block
+	for _, b := range g.Blocks {
+		if b.Kind == kind {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// one returns the single block of the given kind, failing otherwise.
+func one(t *testing.T, g *Graph, kind string) *Block {
+	t.Helper()
+	bs := blocksOf(g, kind)
+	if len(bs) != 1 {
+		t.Fatalf("want exactly one %q block, got %d\n%s", kind, len(bs), g)
+	}
+	return bs[0]
+}
+
+func hasEdge(from, to *Block) bool {
+	for _, s := range from.Succs {
+		if s == to {
+			return true
+		}
+	}
+	return false
+}
+
+// branchBlock finds the block holding a break/continue/goto of the given
+// token (there must be exactly one in the graph).
+func branchBlock(t *testing.T, g *Graph, tok string) *Block {
+	t.Helper()
+	var found *Block
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if br, ok := n.(*ast.BranchStmt); ok && br.Tok.String() == tok {
+				if found != nil {
+					t.Fatalf("multiple %s statements in graph", tok)
+				}
+				found = b
+			}
+		}
+	}
+	if found == nil {
+		t.Fatalf("no block holds a %s statement\n%s", tok, g)
+	}
+	return found
+}
+
+func TestIfElse(t *testing.T) {
+	g := build(t, `
+	x := 1
+	if x > 0 {
+		x = 2
+	} else {
+		x = 3
+	}
+	_ = x
+`)
+	then, els, done := one(t, g, "if.then"), one(t, g, "if.else"), one(t, g, "if.done")
+	if !hasEdge(g.Entry, then) || !hasEdge(g.Entry, els) {
+		t.Errorf("cond block must branch to both arms\n%s", g)
+	}
+	if hasEdge(g.Entry, done) {
+		t.Errorf("with an else present, cond must not edge straight to done\n%s", g)
+	}
+	if !hasEdge(then, done) || !hasEdge(els, done) {
+		t.Errorf("both arms must rejoin at done\n%s", g)
+	}
+	if !hasEdge(done, g.Exit) {
+		t.Errorf("done must reach exit\n%s", g)
+	}
+}
+
+func TestIfWithoutElse(t *testing.T) {
+	g := build(t, `
+	if cond {
+		work()
+	}
+	after()
+`)
+	done := one(t, g, "if.done")
+	if !hasEdge(g.Entry, done) {
+		t.Errorf("without an else, cond must edge to done (the false path)\n%s", g)
+	}
+}
+
+func TestForBreakContinue(t *testing.T) {
+	g := build(t, `
+	for i := 0; i < 10; i++ {
+		if i == 3 {
+			continue
+		}
+		if i == 5 {
+			break
+		}
+	}
+`)
+	head, done, post := one(t, g, "for.head"), one(t, g, "for.done"), one(t, g, "for.post")
+	if !hasEdge(head, done) {
+		t.Errorf("conditional loop head must edge to done\n%s", g)
+	}
+	if !hasEdge(post, head) {
+		t.Errorf("post block must loop back to head\n%s", g)
+	}
+	if b := branchBlock(t, g, "continue"); !hasEdge(b, post) {
+		t.Errorf("continue must edge to the post block\n%s", g)
+	}
+	if b := branchBlock(t, g, "break"); !hasEdge(b, done) {
+		t.Errorf("break must edge to done\n%s", g)
+	}
+	if len(post.Nodes) != 1 {
+		t.Errorf("post block must carry the post statement, has %d nodes", len(post.Nodes))
+	}
+}
+
+func TestLabeledBreakContinue(t *testing.T) {
+	g := build(t, `
+outer:
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if j == 1 {
+				continue outer
+			}
+			if j == 2 {
+				break outer
+			}
+		}
+	}
+`)
+	posts, dones := blocksOf(g, "for.post"), blocksOf(g, "for.done")
+	if len(posts) != 2 || len(dones) != 2 {
+		t.Fatalf("want two nested loops, got %d posts / %d dones\n%s", len(posts), len(dones), g)
+	}
+	// Creation order: the outer loop's blocks are built before the inner's.
+	outerPost, outerDone := posts[0], dones[0]
+	innerPost, innerDone := posts[1], dones[1]
+	if b := branchBlock(t, g, "continue"); !hasEdge(b, outerPost) || hasEdge(b, innerPost) {
+		t.Errorf("continue outer must target the outer post, not the inner\n%s", g)
+	}
+	if b := branchBlock(t, g, "break"); !hasEdge(b, outerDone) || hasEdge(b, innerDone) {
+		t.Errorf("break outer must target the outer done, not the inner\n%s", g)
+	}
+}
+
+func TestRange(t *testing.T) {
+	g := build(t, `
+	s := 0
+	for _, v := range m {
+		s += v
+	}
+	_ = s
+`)
+	head, done, body := one(t, g, "range.head"), one(t, g, "range.done"), one(t, g, "range.body")
+	if len(head.Nodes) != 1 {
+		t.Fatalf("range head must hold the RangeStmt, has %d nodes", len(head.Nodes))
+	}
+	if _, ok := head.Nodes[0].(*ast.RangeStmt); !ok {
+		t.Fatalf("range head node is %T, want *ast.RangeStmt", head.Nodes[0])
+	}
+	if !hasEdge(head, done) || !hasEdge(head, body) {
+		t.Errorf("range head must branch to both body and done\n%s", g)
+	}
+	if !hasEdge(body, head) {
+		t.Errorf("range body must loop back to head\n%s", g)
+	}
+}
+
+func TestSwitchFallthrough(t *testing.T) {
+	g := build(t, `
+	switch x {
+	case 0:
+		a()
+		fallthrough
+	case 1:
+		b()
+	default:
+		c()
+	}
+`)
+	cases := blocksOf(g, "case")
+	if len(cases) != 3 {
+		t.Fatalf("want 3 case blocks, got %d\n%s", len(cases), g)
+	}
+	done := one(t, g, "switch.done")
+	for _, c := range cases {
+		if !hasEdge(g.Entry, c) {
+			t.Errorf("switch head must edge to every clause\n%s", g)
+		}
+	}
+	if hasEdge(g.Entry, done) {
+		t.Errorf("switch with a default must not edge head to done\n%s", g)
+	}
+	if !hasEdge(cases[0], cases[1]) {
+		t.Errorf("fallthrough must edge case 0 into case 1\n%s", g)
+	}
+	if hasEdge(cases[1], cases[2]) {
+		t.Errorf("no fallthrough from case 1 to default\n%s", g)
+	}
+}
+
+func TestSwitchNoDefault(t *testing.T) {
+	g := build(t, `
+	switch x {
+	case 0:
+		a()
+	}
+	after()
+`)
+	done := one(t, g, "switch.done")
+	if !hasEdge(g.Entry, done) {
+		t.Errorf("switch without a default must edge head to done\n%s", g)
+	}
+}
+
+func TestSelect(t *testing.T) {
+	g := build(t, `
+	select {
+	case <-ch:
+		a()
+	case ch <- 1:
+		b()
+	}
+`)
+	comms := blocksOf(g, "comm")
+	if len(comms) != 2 {
+		t.Fatalf("want 2 comm blocks, got %d\n%s", len(comms), g)
+	}
+	done := one(t, g, "select.done")
+	for _, c := range comms {
+		if !hasEdge(g.Entry, c) || !hasEdge(c, done) {
+			t.Errorf("every comm clause must be entered from head and rejoin done\n%s", g)
+		}
+	}
+}
+
+func TestDefersRecorded(t *testing.T) {
+	g := build(t, `
+	defer a()
+	if cond {
+		defer b()
+	}
+	defer c()
+`)
+	if len(g.Defers) != 3 {
+		t.Fatalf("want 3 recorded defers, got %d", len(g.Defers))
+	}
+	for i := 1; i < len(g.Defers); i++ {
+		if g.Defers[i].Pos() <= g.Defers[i-1].Pos() {
+			t.Errorf("defers must be recorded in syntactic order")
+		}
+	}
+}
+
+func TestReturnUnreachable(t *testing.T) {
+	g := build(t, `
+	return
+	x := 1
+	_ = x
+`)
+	if !hasEdge(g.Entry, g.Exit) {
+		t.Errorf("return must edge to exit\n%s", g)
+	}
+	dead := one(t, g, "unreachable")
+	if len(dead.Nodes) != 2 {
+		t.Errorf("code after return must land in the unreachable block, has %d nodes", len(dead.Nodes))
+	}
+	for _, b := range g.Blocks {
+		if hasEdge(b, dead) {
+			t.Errorf("unreachable block must have no predecessors\n%s", g)
+		}
+	}
+}
+
+func TestGotoBackward(t *testing.T) {
+	g := build(t, `
+	i := 0
+loop:
+	if i < 3 {
+		i++
+		goto loop
+	}
+`)
+	lbl := one(t, g, "label.loop")
+	if b := branchBlock(t, g, "goto"); !hasEdge(b, lbl) {
+		t.Errorf("backward goto must edge to its label block\n%s", g)
+	}
+}
+
+func TestGotoForward(t *testing.T) {
+	g := build(t, `
+	goto done
+	x := 1
+	_ = x
+done:
+	return
+`)
+	lbl := one(t, g, "label.done")
+	if b := branchBlock(t, g, "goto"); !hasEdge(b, lbl) {
+		t.Errorf("forward goto must be patched to its label block\n%s", g)
+	}
+}
+
+func TestPanicTerminal(t *testing.T) {
+	g := build(t, `
+	panic("boom")
+	x := 1
+	_ = x
+`)
+	if !hasEdge(g.Entry, g.Exit) {
+		t.Errorf("panic must edge to exit\n%s", g)
+	}
+	dead := one(t, g, "unreachable")
+	for _, b := range g.Blocks {
+		if hasEdge(b, dead) {
+			t.Errorf("code after panic must be flow-unreachable\n%s", g)
+		}
+	}
+}
+
+func TestOSExitTerminal(t *testing.T) {
+	g := build(t, `
+	os.Exit(1)
+	x := 1
+	_ = x
+`)
+	if !hasEdge(g.Entry, g.Exit) {
+		t.Errorf("os.Exit must edge to exit\n%s", g)
+	}
+	if len(blocksOf(g, "unreachable")) != 1 {
+		t.Errorf("code after os.Exit must be flow-unreachable\n%s", g)
+	}
+}
+
+// TestNestedLiteralOpaque verifies that a function literal's internal control
+// flow does not leak into the enclosing graph: the literal is a value.
+func TestNestedLiteralOpaque(t *testing.T) {
+	g := build(t, `
+	fn := func() {
+		if deep {
+			return
+		}
+	}
+	fn()
+`)
+	if n := len(blocksOf(g, "if.then")); n != 0 {
+		t.Errorf("literal-internal branches must not appear in the outer graph, got %d\n%s", n, g)
+	}
+	// entry -> exit and nothing else interesting.
+	if !hasEdge(g.Entry, g.Exit) {
+		t.Errorf("straight-line body must edge entry to exit\n%s", g)
+	}
+}
+
+// TestExitLast pins the documented invariant that Exit is the final block and
+// carries no nodes or successors.
+func TestExitLast(t *testing.T) {
+	g := build(t, `
+	x := 1
+	_ = x
+`)
+	last := g.Blocks[len(g.Blocks)-1]
+	if last != g.Exit {
+		t.Errorf("exit must be the last block")
+	}
+	if len(g.Exit.Nodes) != 0 || len(g.Exit.Succs) != 0 {
+		t.Errorf("exit must carry no nodes and no successors")
+	}
+}

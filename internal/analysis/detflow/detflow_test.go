@@ -1,0 +1,22 @@
+package detflow_test
+
+import (
+	"testing"
+
+	"mllibstar/internal/analysis/analysistest"
+	"mllibstar/internal/analysis/determinism"
+	"mllibstar/internal/analysis/detflow"
+)
+
+func TestDetflow(t *testing.T) {
+	analysistest.Run(t, "testdata/src/a", detflow.Analyzer)
+}
+
+// The corpus's map ranges and time calls all carry scoped //mlstar:nolint
+// determinism directives, and the sinks detflow flags (slice folds of
+// collected values, call sites of charging helpers, field stores) contain
+// no source the syntactic determinism analyzer recognizes — it must report
+// nothing on this file while detflow reports at every sink.
+func TestDeterminismMissesTaintFlow(t *testing.T) {
+	analysistest.RunSilent(t, "testdata/src/a", determinism.Analyzer)
+}

@@ -1,0 +1,107 @@
+package analysis
+
+import (
+	"fmt"
+	"go/format"
+	"go/token"
+	"sort"
+)
+
+// ApplyFixes applies the first suggested fix of every diagnostic to the
+// affected files and returns the new content of each changed file, gofmt'd.
+// readFile supplies the current content of a file (tests pass an in-memory
+// corpus; the driver reads from disk).
+//
+// Edits are applied per file in descending offset order so earlier offsets
+// stay valid. Overlapping fixes are resolved deterministically: diagnostics
+// are processed in (file, offset) order and a fix that overlaps an
+// already-accepted edit is skipped — running the fixer again after the
+// first batch lands picks it up, and the lint-fix make target asserts the
+// process converges.
+func ApplyFixes(fset *token.FileSet, diags []Diagnostic, readFile func(string) ([]byte, error)) (changed map[string][]byte, applied, skipped int, err error) {
+	type edit struct {
+		start, end int
+		text       string
+	}
+	perFile := map[string][]edit{}
+
+	ordered := append([]Diagnostic(nil), diags...)
+	sort.SliceStable(ordered, func(i, j int) bool {
+		pi, pj := fset.Position(ordered[i].Pos), fset.Position(ordered[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		return pi.Offset < pj.Offset
+	})
+
+	for _, d := range ordered {
+		if len(d.Fixes) == 0 {
+			continue
+		}
+		fix := d.Fixes[0]
+		file := ""
+		var edits []edit
+		ok := true
+		for _, te := range fix.Edits {
+			p, e := fset.Position(te.Pos), fset.Position(te.End)
+			if file == "" {
+				file = p.Filename
+			}
+			if p.Filename != file || e.Filename != file || e.Offset < p.Offset {
+				ok = false // cross-file or inverted edit: malformed, skip
+				break
+			}
+			edits = append(edits, edit{start: p.Offset, end: e.Offset, text: te.NewText})
+		}
+		if !ok || file == "" {
+			skipped++
+			continue
+		}
+		for _, ne := range edits {
+			for _, oe := range perFile[file] {
+				if ne.start < oe.end && oe.start < ne.end {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				break
+			}
+		}
+		if !ok {
+			skipped++
+			continue
+		}
+		perFile[file] = append(perFile[file], edits...)
+		applied++
+	}
+
+	changed = map[string][]byte{}
+	files := make([]string, 0, len(perFile))
+	for f := range perFile { //mlstar:nolint determinism -- keys sorted before use
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	for _, file := range files {
+		src, rerr := readFile(file)
+		if rerr != nil {
+			return nil, 0, 0, fmt.Errorf("analysis: applying fixes to %s: %v", file, rerr)
+		}
+		edits := perFile[file]
+		sort.Slice(edits, func(i, j int) bool { return edits[i].start > edits[j].start })
+		for _, e := range edits {
+			if e.end > len(src) {
+				return nil, 0, 0, fmt.Errorf("analysis: fix edit out of range in %s", file)
+			}
+			src = append(src[:e.start], append([]byte(e.text), src[e.end:]...)...)
+		}
+		formatted, ferr := format.Source(src)
+		if ferr != nil {
+			// A fix that does not produce parseable Go is a bug in the
+			// analyzer; surface it instead of writing a broken file.
+			return nil, 0, 0, fmt.Errorf("analysis: fix output for %s does not parse: %v", file, ferr)
+		}
+		changed[file] = formatted
+	}
+	return changed, applied, skipped, nil
+}

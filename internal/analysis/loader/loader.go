@@ -3,6 +3,12 @@
 // `go list -json`, syntax comes from go/parser, and types come from
 // go/types with the source-based importer (which resolves both standard
 // library and module-internal imports by type-checking them from source).
+//
+// Listing and loading are separate steps so the driver can skip the
+// expensive one: List returns the matched packages in dependency order with
+// their file lists and imports (enough to compute content-hash cache keys),
+// and Module.LoadPackage type-checks one package on demand. A fully warm
+// lint run lists the tree and loads nothing.
 package loader
 
 import (
@@ -17,6 +23,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"sort"
 	"strings"
 )
 
@@ -30,19 +37,44 @@ type Package struct {
 	TypesInfo *types.Info
 }
 
+// Entry is one matched package before type-checking: everything `go list`
+// knows that the driver needs for cache keys and scheduling.
+type Entry struct {
+	ImportPath string
+	Dir        string
+	// GoFiles are the package's non-test Go files, as absolute paths.
+	GoFiles []string
+	// Imports are the package's direct imports (all of them; the driver
+	// intersects with the matched set for dependency ordering).
+	Imports []string
+}
+
+// Module is one `go list` result: the matched packages in dependency order
+// plus the shared file set and importer used to load them on demand.
+type Module struct {
+	// Dir is the directory the patterns were resolved in ("" = cwd).
+	Dir string
+	// Entries are the matched packages, dependencies before dependents.
+	Entries []Entry
+
+	fset *token.FileSet
+	imp  types.Importer
+}
+
 // listEntry is the subset of `go list -json` output the loader consumes.
 type listEntry struct {
 	ImportPath string
 	Dir        string
 	Name       string
 	GoFiles    []string
+	Imports    []string
 }
 
-// Load expands the package patterns (e.g. "./...") relative to dir and
-// returns the matched packages, parsed and type-checked. Test files are not
-// loaded: the lint suite checks shipped code, and external test packages
-// would need a second type-checking universe.
-func Load(dir string, patterns []string) ([]*Package, error) {
+// List expands the package patterns (e.g. "./...") relative to dir and
+// returns the matched packages in dependency order, without type-checking
+// anything. Test files are not listed: the lint suite checks shipped code,
+// and external test packages would need a second type-checking universe.
+func List(dir string, patterns []string) (*Module, error) {
 	args := append([]string{"list", "-json"}, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
@@ -53,30 +85,112 @@ func Load(dir string, patterns []string) ([]*Package, error) {
 		return nil, fmt.Errorf("loader: go list %s: %v\n%s", strings.Join(patterns, " "), err, errBuf.String())
 	}
 
-	var entries []listEntry
+	var entries []Entry
 	dec := json.NewDecoder(&out)
 	for dec.More() {
 		var e listEntry
 		if err := dec.Decode(&e); err != nil {
 			return nil, fmt.Errorf("loader: decoding go list output: %v", err)
 		}
-		entries = append(entries, e)
+		files := make([]string, 0, len(e.GoFiles))
+		for _, f := range e.GoFiles {
+			files = append(files, filepath.Join(e.Dir, f))
+		}
+		entries = append(entries, Entry{
+			ImportPath: e.ImportPath,
+			Dir:        e.Dir,
+			GoFiles:    files,
+			Imports:    e.Imports,
+		})
 	}
 
+	fset := token.NewFileSet()
+	return &Module{
+		Dir:     dir,
+		Entries: topoOrder(entries),
+		fset:    fset,
+		imp:     importer.ForCompiler(fset, "source", nil),
+	}, nil
+}
+
+// topoOrder sorts entries dependencies-first (Kahn's algorithm over the
+// imports restricted to the matched set), breaking ties by import path so
+// the order is deterministic. Cycles cannot occur in valid Go packages;
+// leftover entries (only possible on invalid input) are appended sorted.
+func topoOrder(entries []Entry) []Entry {
+	sort.Slice(entries, func(i, j int) bool { return entries[i].ImportPath < entries[j].ImportPath })
+	inSet := make(map[string]int, len(entries))
+	for i, e := range entries {
+		inSet[e.ImportPath] = i
+	}
+	indeg := make([]int, len(entries))
+	dependents := make([][]int, len(entries))
+	for i, e := range entries {
+		for _, imp := range e.Imports {
+			if j, ok := inSet[imp]; ok {
+				indeg[i]++
+				dependents[j] = append(dependents[j], i)
+			}
+		}
+	}
+	var ready []int
+	for i := range entries {
+		if indeg[i] == 0 {
+			ready = append(ready, i)
+		}
+	}
+	out := make([]Entry, 0, len(entries))
+	done := make([]bool, len(entries))
+	for len(ready) > 0 {
+		sort.Ints(ready)
+		i := ready[0]
+		ready = ready[1:]
+		out = append(out, entries[i])
+		done[i] = true
+		for _, d := range dependents[i] {
+			if indeg[d]--; indeg[d] == 0 {
+				ready = append(ready, d)
+			}
+		}
+	}
+	for i := range entries {
+		if !done[i] {
+			out = append(out, entries[i])
+		}
+	}
+	return out
+}
+
+// LoadPackage parses and type-checks one listed package. Packages loaded
+// from the same Module share a file set and importer, so a dependency
+// already type-checked (directly or as an import) is reused.
+func (m *Module) LoadPackage(e Entry) (*Package, error) {
 	// The source importer resolves module-internal import paths through
 	// go/build, which needs the process working directory to sit inside the
 	// module. Pin it for the duration of the load.
-	restore, err := pushd(dir)
+	restore, err := pushd(m.Dir)
 	if err != nil {
 		return nil, err
 	}
 	defer restore()
+	names := make([]string, 0, len(e.GoFiles))
+	for _, f := range e.GoFiles {
+		names = append(names, filepath.Base(f))
+	}
+	return check(m.fset, m.imp, e.ImportPath, e.Dir, names)
+}
 
-	fset := token.NewFileSet()
-	imp := importer.ForCompiler(fset, "source", nil)
-	pkgs := make([]*Package, 0, len(entries))
-	for _, e := range entries {
-		p, err := check(fset, imp, e.ImportPath, e.Dir, e.GoFiles)
+// Load expands the patterns and type-checks every matched package, in
+// dependency order. Drivers that can skip work should use List +
+// LoadPackage instead.
+func Load(dir string, patterns []string) ([]*Package, error) {
+	mod, err := List(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	pkgs := make([]*Package, 0, len(mod.Entries))
+	for _, e := range mod.Entries {
+		p, err := mod.LoadPackage(e)
 		if err != nil {
 			return nil, err
 		}

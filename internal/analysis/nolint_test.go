@@ -1,27 +1,53 @@
 package analysis
 
 import (
-	"os"
-	"path/filepath"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
 	"testing"
 )
 
-func TestSuppressed(t *testing.T) {
+// parse builds a Suppressor over one in-memory file, returning the misuses.
+func parse(t *testing.T, src string) (*Suppressor, []Misuse, string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSuppressor()
+	mis := s.AddPackage(fset, []*ast.File{f})
+	return s, mis, "p.go"
+}
+
+func TestSuppressedAttachment(t *testing.T) {
 	src := `package p
 
 var a = 1 //mlstar:nolint floateq -- exact sentinel by design
 var b = 2 //mlstar:nolint floateq,determinism
-var c = 3 //mlstar:nolint
 //mlstar:nolint determinism -- order-insensitive: one write per key
 var d = 4
 var e = 5
+
+func f() {
+	x := call( //mlstar:nolint vecalias -- shared read-only buffer
+		1,
+		2,
+	)
+	_ = x
+}
+
+//mlstar:nolint determinism -- kernel-internal launch
+func g() {
+	y := 0
+	_ = y
+}
 `
-	dir := t.TempDir()
-	file := filepath.Join(dir, "p.go")
-	if err := os.WriteFile(file, []byte(src), 0o644); err != nil {
-		t.Fatal(err)
+	s, mis, file := parse(t, src)
+	if len(mis) != 0 {
+		t.Fatalf("unexpected misuses: %v", mis)
 	}
-	s := NewSuppressor()
 	cases := []struct {
 		line     int
 		analyzer string
@@ -32,12 +58,13 @@ var e = 5
 		{4, "floateq", true},      // comma-separated list, first name
 		{4, "determinism", true},  // comma-separated list, second name
 		{4, "vecalias", false},    // not in the list
-		{5, "floateq", true},      // bare marker suppresses everything
-		{5, "gocapture", true},    // ditto
-		{7, "determinism", true},  // marker-only line covers the next line
-		{7, "floateq", false},     // ...for the named analyzer only
-		{8, "determinism", false}, // two lines below a marker is not covered
-		{4, "floateq", true},      // cached-file path answers consistently
+		{6, "determinism", true},  // marker-only line covers the statement below
+		{6, "floateq", false},     // ...for the named analyzer only
+		{7, "determinism", false}, // the next statement is not covered
+		{10, "vecalias", true},    // trailing marker on a multi-line statement...
+		{12, "vecalias", true},    // ...covers the whole statement
+		{12, "floateq", false},    // ...but only the named analyzer
+		{20, "determinism", true}, // declaration-attached directive covers the body
 		{100, "floateq", false},   // out-of-range line
 	}
 	for _, c := range cases {
@@ -45,13 +72,34 @@ var e = 5
 			t.Errorf("Suppressed(line %d, %q) = %v, want %v", c.line, c.analyzer, got, c.want)
 		}
 	}
-	// A trailing marker on line 3 must not leak onto line 4's findings.
-	if s.Suppressed(file, 4, "gocapture") {
-		t.Error("trailing marker on the previous line suppressed the next line")
+	if s.Suppressed("missing.go", 1, "floateq") {
+		t.Error("unknown file suppressed a finding")
 	}
-	// Unreadable files suppress nothing.
-	if s.Suppressed(filepath.Join(dir, "missing.go"), 1, "floateq") {
-		t.Error("missing file suppressed a finding")
+}
+
+func TestNolintMisuses(t *testing.T) {
+	src := `package p
+
+var a = 1 //mlstar:nolint
+
+//mlstar:nolint floateq -- floating in space, nothing on the next line
+
+var b = 2
+`
+	_, mis, _ := parse(t, src)
+	if len(mis) != 2 {
+		t.Fatalf("got %d misuses, want 2: %v", len(mis), mis)
+	}
+	if !strings.Contains(mis[0].Message, "bare nolint") {
+		t.Errorf("misuse[0] = %q, want bare-directive message", mis[0].Message)
+	}
+	if !strings.Contains(mis[1].Message, "unattached nolint") {
+		t.Errorf("misuse[1] = %q, want unattached-directive message", mis[1].Message)
+	}
+	// Neither malformed directive suppresses anything.
+	s, _, file := parse(t, src)
+	if s.Suppressed(file, 3, "floateq") || s.Suppressed(file, 7, "floateq") {
+		t.Error("malformed directive suppressed a finding")
 	}
 }
 
