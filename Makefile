@@ -32,13 +32,13 @@ fuzz: ## short fuzz runs: libsvm reader + sparse encoding + telemetry event roun
 	$(GO) test -fuzz=FuzzRoundTrip -fuzztime=10s ./internal/sparse
 	$(GO) test -fuzz=FuzzEventRoundTrip -fuzztime=10s ./internal/obs
 
-bench: ## wall-clock benchmarks (offload/sparse/pipeline/obs on/off, kernels, CSR layout) -> BENCH_5.json
+bench: ## wall-clock benchmarks (offload/sparse/pipeline/obs on/off, slab kernels, CSR layout) -> BENCH_7.json
 	$(GO) test -bench 'BenchmarkWallClock' -run '^$$' -benchmem ./internal/bench \
-		| tee /dev/stderr | $(GO) run ./cmd/mlstar-benchjson -out BENCH_5.json
+		| tee /dev/stderr | $(GO) run ./cmd/mlstar-benchjson -out BENCH_7.json
 
 bench-smoke: ## one-iteration benchmark pass + bit-identity tests + CSR zero-alloc guard
 	$(GO) test -bench 'BenchmarkWallClock' -benchtime=1x -run '^$$' -benchmem ./internal/bench
-	$(GO) test -run 'TestParallelOffload|TestKernelAllocReduction|TestSparse|TestObs|TestPipeline|TestCSRBatchZeroAllocs' -v ./internal/bench
+	$(GO) test -run 'TestParallelOffload|TestKernelAllocReduction|TestSparse|TestObs|TestPipeline|TestCSRBatchZeroAllocs|TestCSRKernel' -v ./internal/bench
 
 obs: ## replay the committed sample event logs and diff against the golden reports
 	$(GO) run ./cmd/mlstar-obs -in internal/bench/testdata/obs_events_mllib.jsonl > obs_report_mllib.txt

@@ -25,10 +25,14 @@
 //   - lint_cache_speedup: ns/op(cache=cold) / ns/op(cache=warm) for the
 //     BenchmarkLintSuite lines `mlstar-lint -bench` emits — how much the
 //     content-hash result cache shortens the lint gate (make lint-bench).
+//   - kernel_speedup_csr: ns/op(impl=view) / ns/op(impl=slab) for benchmarks
+//     with kernel-implementation sub-runs — how much faster the monomorphized
+//     slab kernels run the fused gradient+loss superstep than the Example-view
+//     interface path (results are bit-identical by the kernel contract).
 //
 // Usage:
 //
-//	go test -bench 'BenchmarkWallClock' -benchmem ./internal/bench | mlstar-benchjson -out BENCH_5.json
+//	go test -bench 'BenchmarkWallClock' -benchmem ./internal/bench | mlstar-benchjson -out BENCH_7.json
 package main
 
 import (
@@ -93,6 +97,12 @@ type artifact struct {
 	// ns/op(cache=cold) / ns/op(cache=warm): how much of the lint gate the
 	// content-hash result cache skips when nothing changed.
 	LintCacheSpeedup map[string]float64 `json:"lint_cache_speedup,omitempty"`
+	// KernelSpeedupCSR maps a benchmark's base name to ns/op(impl=view) /
+	// ns/op(impl=slab): the wall-clock win of the loss-monomorphized slab
+	// kernels over the Example-view interface path on the same superstep.
+	// The kernel bit-identity contract guarantees both sub-runs compute the
+	// same floats, so this is pure data-path speed.
+	KernelSpeedupCSR map[string]float64 `json:"kernel_speedup_csr,omitempty"`
 }
 
 // benchPrefix matches the name and iteration count of a result row; the
@@ -103,7 +113,7 @@ var benchPrefix = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.*)$`)
 var cpuSuffix = regexp.MustCompile(`-\d+$`)
 
 func main() {
-	out := flag.String("out", "BENCH_5.json", "output JSON path")
+	out := flag.String("out", "BENCH_7.json", "output JSON path")
 	flag.Parse()
 
 	art, err := parse(bufio.NewScanner(os.Stdin))
@@ -178,6 +188,8 @@ func parse(sc *bufio.Scanner) (*artifact, error) {
 	art.SimSpeedupPipeline = ratios(art.Benchmarks, "/pipeline=off", "/pipeline=on",
 		func(r benchResult) float64 { return r.Metrics["simsec/op"] })
 	art.LintCacheSpeedup = ratios(art.Benchmarks, "/cache=cold", "/cache=warm",
+		func(r benchResult) float64 { return r.NsPerOp })
+	art.KernelSpeedupCSR = ratios(art.Benchmarks, "/impl=view", "/impl=slab",
 		func(r benchResult) float64 { return r.NsPerOp })
 	for _, r := range art.Benchmarks {
 		base, ok := strings.CutSuffix(r.Name, "/obs=on")

@@ -19,3 +19,12 @@ func TestBuflife(t *testing.T) {
 func TestVecaliasMissesFlowSensitiveLifetimes(t *testing.T) {
 	analysistest.RunSilent(t, "testdata/src/a", vecalias.Analyzer)
 }
+
+// The slab-kernel corpus distills internal/data's hot-loop idioms: pooled
+// gradient scratch borrowed (never retired) by kernel callees, a Put after
+// the last use, and a deferred Put covering every exit. The reslice-heavy
+// pipelined inner loops must not confuse the lifetime tracking — buflife
+// stays silent on balanced kernel code.
+func TestBuflifeSilentOnKernelIdioms(t *testing.T) {
+	analysistest.RunSilent(t, "testdata/src/kernel", buflife.Analyzer)
+}

@@ -1,0 +1,83 @@
+// Corpus for the slab-kernel idioms of internal/data viewed through the
+// pooled-buffer lifetime analysis: gradient scratch acquired from the pool,
+// written by a kernel callee (which never retires it), and put back exactly
+// once after the last use — including the reslice-heavy two-row pipelined
+// inner loop and a deferred Put covering every exit path. All lifetimes are
+// balanced, so buflife must stay silent on this whole file.
+package kernel
+
+// Ctx mirrors engine.Context's pool surface.
+type Ctx struct{ depth int }
+
+func (c *Ctx) GetVec(n int) []float64 { return make([]float64, n) }
+func (c *Ctx) PutVec(b []float64)     {}
+
+type arena struct {
+	rowPtr []int
+	ind    []int32
+	val    []float64
+}
+
+// gradInto writes into the caller-owned g — it borrows the buffer and
+// never Puts it, so callers keep full ownership across the call. The
+// two-row margin pipeline reslices the slabs freely; none of those slices
+// are pooled.
+func gradInto(c *arena, lo, hi int, w, g []float64) {
+	rp, ind, val := c.rowPtr, c.ind, c.val
+	rs := rp[lo]
+	r := lo
+	for ; r+1 < hi; r += 2 {
+		mid, re := rp[r+1], rp[r+2]
+		rIx1, rVal1 := ind[rs:mid], val[rs:mid]
+		rIx2, rVal2 := ind[mid:re], val[mid:re]
+		m1, m2 := 0.0, 0.0
+		k := len(rIx1)
+		if len(rIx2) < k {
+			k = len(rIx2)
+		}
+		for p := 0; p < k; p++ {
+			m1 += w[rIx1[p]] * rVal1[p]
+			m2 += w[rIx2[p]] * rVal2[p]
+		}
+		for p, ix := range rIx1 {
+			g[ix] += m1 * rVal1[p]
+		}
+		for p, ix := range rIx2 {
+			g[ix] += m2 * rVal2[p]
+		}
+		rs = re
+	}
+}
+
+// superstep is the trainer shape: pooled gradient scratch, blocked kernel
+// calls that borrow it, one Put after the last use.
+func superstep(ctx *Ctx, c *arena, w []float64, blk int) float64 {
+	g := ctx.GetVec(len(w))
+	n := len(c.rowPtr) - 1
+	for lo := 0; lo < n; lo += blk {
+		hi := lo + blk
+		if hi > n {
+			hi = n
+		}
+		gradInto(c, lo, hi, w, g)
+	}
+	norm := 0.0
+	for _, v := range g {
+		norm += v * v
+	}
+	ctx.PutVec(g)
+	return norm
+}
+
+// deferredSuperstep retires the scratch via defer — exactly once on every
+// exit path, with all uses (the kernel calls and the fold) before exit.
+func deferredSuperstep(ctx *Ctx, c *arena, w []float64) float64 {
+	g := ctx.GetVec(len(w))
+	defer ctx.PutVec(g)
+	gradInto(c, 0, len(c.rowPtr)-1, w, g)
+	s := 0.0
+	for _, v := range g {
+		s += v
+	}
+	return s
+}

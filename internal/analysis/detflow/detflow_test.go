@@ -20,3 +20,13 @@ func TestDetflow(t *testing.T) {
 func TestDeterminismMissesTaintFlow(t *testing.T) {
 	analysistest.RunSilent(t, "testdata/src/a", determinism.Analyzer)
 }
+
+// The slab-kernel corpus distills internal/data's hot-loop idioms — running
+// loss sums threaded through per-block calls, two-row pipelined margin
+// folds, structural work charges — which are exactly the sink shapes
+// detflow watches. Nothing there derives from a map range or the wall
+// clock, so the analyzer must stay silent: the kernels' determinism comes
+// from slab order, not from suppressions.
+func TestDetflowSilentOnKernelIdioms(t *testing.T) {
+	analysistest.RunSilent(t, "testdata/src/kernel", detflow.Analyzer)
+}

@@ -16,6 +16,7 @@ package angel
 import (
 	"fmt"
 
+	"mllibstar/internal/data"
 	"mllibstar/internal/des"
 	"mllibstar/internal/detrand"
 	"mllibstar/internal/glm"
@@ -37,7 +38,7 @@ const AllocWorkPerDim = 2.0
 
 // Train runs the Angel-like trainer over the given worker nodes. parts must
 // have one partition per node, in node order.
-func Train(sim *des.Sim, net *simnet.Network, nodeNames []string, parts [][]glm.Example,
+func Train(sim *des.Sim, net *simnet.Network, nodeNames []string, parts []data.View,
 	dim int, prm train.Params, evalData []glm.Example, dataset string) (*train.Result, error) {
 
 	if err := prm.Validate(); err != nil {
@@ -68,7 +69,7 @@ func Train(sim *des.Sim, net *simnet.Network, nodeNames []string, parts [][]glm.
 		r := r
 		node := net.Node(nodeNames[r])
 		part := parts[r]
-		batchSize := maxInt(1, int(prm.BatchFraction*float64(len(part))))
+		batchSize := maxInt(1, int(prm.BatchFraction*float64(part.NumRows())))
 		sim.Spawn(fmt.Sprintf("angel:worker%d", r), func(p *des.Proc) {
 			scratch := make([]float64, dim)
 			jitter := detrand.Worker(prm.Seed, r)
@@ -100,10 +101,10 @@ func Train(sim *des.Sim, net *simnet.Network, nodeNames []string, parts [][]glm.
 				// offload pool.
 				eta := sched(t - 1)
 				batches := 0
-				if len(part) > 0 {
-					batches = (len(part) + batchSize - 1) / batchSize
+				if part.NumRows() > 0 {
+					batches = (part.NumRows() + batchSize - 1) / batchSize
 				}
-				work := float64(glm.NNZTotal(part))
+				work := float64(part.NNZ())
 				if !regIsNone {
 					work += float64(batches * dim)
 				}
@@ -121,7 +122,7 @@ func Train(sim *des.Sim, net *simnet.Network, nodeNames []string, parts [][]glm.
 				var delta []float64
 				node.ComputeAsyncKind(p, effort, trace.Compute, "", func() {
 					local := vec.Copy(w)
-					opt.LocalMGDEpoch(prm.Objective, local, part, batchSize, opt.Const(eta), 0, scratch)
+					opt.LocalMGDEpochView(prm.Objective, local, part, batchSize, opt.Const(eta), 0, scratch)
 					vec.AddScaled(local, w, -1)
 					delta = local
 				})

@@ -10,7 +10,7 @@ import (
 	"mllibstar/internal/train"
 )
 
-func workload(k int) (*data.Dataset, [][]glm.Example) {
+func workload(k int) (*data.Dataset, []data.View) {
 	d := data.Generate(data.Spec{
 		Name: "toy", Rows: 1200, Cols: 150, NNZPerRow: 8, Seed: 11, NoiseRate: 0.02,
 	})
@@ -87,12 +87,12 @@ func TestDeterministic(t *testing.T) {
 func TestValidation(t *testing.T) {
 	sim, net, names := clusters.Test(2).BuildNet(nil)
 	prm := params(5)
-	if _, err := angel.Train(sim, net, names, make([][]glm.Example, 3), 10, prm, nil, "d"); err == nil {
+	if _, err := angel.Train(sim, net, names, make([]data.View, 3), 10, prm, nil, "d"); err == nil {
 		t.Error("want partition mismatch error")
 	}
 	sim2, net2, names2 := clusters.Test(2).BuildNet(nil)
 	bad := params(0)
-	if _, err := angel.Train(sim2, net2, names2, make([][]glm.Example, 2), 10, bad, nil, "d"); err == nil {
+	if _, err := angel.Train(sim2, net2, names2, make([]data.View, 2), 10, bad, nil, "d"); err == nil {
 		t.Error("want validation error")
 	}
 }

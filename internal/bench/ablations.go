@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mllibstar/internal/clusters"
+	"mllibstar/internal/data"
 	"mllibstar/internal/des"
 	"mllibstar/internal/engine"
 	"mllibstar/internal/glm"
@@ -137,7 +138,7 @@ func runAblationWaves(cfg RunConfig) (*Report, error) {
 					PayloadBytes: float64(dim) * engine.FloatBytes,
 					Run: func(p *des.Proc, ex *engine.Executor) (any, float64) {
 						g := make([]float64, dim)
-						work := obj.AddGradient(wModel, parts[i], g)
+						work := data.AddGradient(obj, wModel, parts[i], g)
 						ex.Charge(p, float64(work))
 						return nil, float64(dim) * engine.FloatBytes
 					},

@@ -99,7 +99,7 @@ func runExtLoading(cfg RunConfig) (*Report, error) {
 			for i := 0; i < 8; i++ {
 				i := i
 				tasks[i] = engine.Task{Exec: cl.Execs[i], Run: func(p *des.Proc, ex *engine.Executor) (any, float64) {
-					work := opt.LocalPass(obj, locals[i], parts[i], opt.Const(0.1), 0)
+					work := opt.LocalPassView(obj, locals[i], parts[i], opt.Const(0.1), 0, nil)
 					ex.Charge(p, float64(work))
 					return nil, 0
 				}}

@@ -6,8 +6,8 @@ import (
 	"mllibstar/internal/angel"
 	"mllibstar/internal/clusters"
 	"mllibstar/internal/core"
+	"mllibstar/internal/data"
 	"mllibstar/internal/engine"
-	"mllibstar/internal/glm"
 	"mllibstar/internal/mavg"
 	"mllibstar/internal/mllib"
 	"mllibstar/internal/petuum"
@@ -53,7 +53,7 @@ func runSystem(system string, spec clusters.Spec, w *workload, prm train.Params,
 
 // trainOn runs one of the Spark-side systems on an already-built engine
 // context, for experiments that need to inspect the cluster afterwards.
-func trainOn(system string, ctx *engine.Context, parts [][]glm.Example, w *workload, prm train.Params) (*train.Result, error) {
+func trainOn(system string, ctx *engine.Context, parts []data.View, w *workload, prm train.Params) (*train.Result, error) {
 	switch system {
 	case sysMLlib:
 		return mllib.Train(ctx, parts, w.ds.Features, prm, w.eval, w.ds.Name)

@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"mllibstar/internal/allreduce"
+	"mllibstar/internal/data"
 	"mllibstar/internal/des"
 	"mllibstar/internal/engine"
 	"mllibstar/internal/glm"
@@ -32,7 +33,7 @@ const System = "MLlib*"
 // Train runs MLlib* on the cluster behind ctx. parts must have one
 // partition per executor, in executor order. evalData is the out-of-band
 // evaluation set; dataset labels the returned curve.
-func Train(ctx *engine.Context, parts [][]glm.Example, dim int, prm train.Params,
+func Train(ctx *engine.Context, parts []data.View, dim int, prm train.Params,
 	evalData []glm.Example, dataset string) (*train.Result, error) {
 
 	if err := prm.Validate(); err != nil {
@@ -100,7 +101,7 @@ func Train(ctx *engine.Context, parts [][]glm.Example, dim int, prm train.Params
 						work := 0
 						if prm.AdaGrad {
 							for pass := 0; pass < prm.LocalPasses; pass++ {
-								work += adagrads[i].Pass(prm.Objective, local, parts[i])
+								work += adagrads[i].Pass(prm.Objective, local, parts[i].Examples())
 							}
 						} else {
 							eta := sched(t - 1)
@@ -109,7 +110,7 @@ func Train(ctx *engine.Context, parts [][]glm.Example, dim int, prm train.Params
 							}
 							etaT := opt.Const(eta)
 							for pass := 0; pass < prm.LocalPasses; pass++ {
-								work += opt.LocalPassWith(prm.Objective, local, parts[i], etaT, 0, scratch[i])
+								work += opt.LocalPassView(prm.Objective, local, parts[i], etaT, 0, scratch[i])
 							}
 						}
 						return float64(work)
@@ -126,7 +127,7 @@ func Train(ctx *engine.Context, parts [][]glm.Example, dim int, prm train.Params
 			ctx.RunStage(p, fmt.Sprintf("mllibstar-%d", t), tasks)
 			var stepUpdates int64
 			for i := range parts {
-				stepUpdates += int64(prm.LocalPasses * len(parts[i]))
+				stepUpdates += int64(prm.LocalPasses * parts[i].NumRows())
 			}
 			res.Updates += stepUpdates
 			obs.Active().Updates(t, "", stepUpdates, p.Now())

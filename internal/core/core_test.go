@@ -16,11 +16,11 @@ import (
 )
 
 // trainFn is the common signature of the three Spark-side trainers.
-type trainFn func(ctx *engine.Context, parts [][]glm.Example, dim int, prm train.Params,
+type trainFn func(ctx *engine.Context, parts []data.View, dim int, prm train.Params,
 	evalData []glm.Example, dataset string) (*train.Result, error)
 
 // smallWorkload builds a deterministic toy dataset with k partitions.
-func smallWorkload(k int) (*data.Dataset, [][]glm.Example) {
+func smallWorkload(k int) (*data.Dataset, []data.View) {
 	d := data.Generate(data.Spec{
 		Name: "toy", Rows: 1600, Cols: 200, NNZPerRow: 10, Seed: 11, NoiseRate: 0.02,
 	})
@@ -209,7 +209,7 @@ func TestValidateRejectsBadParams(t *testing.T) {
 	_, _, ctx := clusters.Test(2).Build(nil)
 	prm := baseParams()
 	prm.Eta = 0
-	if _, err := core.Train(ctx, make([][]glm.Example, 2), 4, prm, nil, "d"); err == nil {
+	if _, err := core.Train(ctx, make([]data.View, 2), 4, prm, nil, "d"); err == nil {
 		t.Error("want error for eta=0")
 	}
 }
@@ -217,7 +217,7 @@ func TestValidateRejectsBadParams(t *testing.T) {
 func TestPartitionCountMismatch(t *testing.T) {
 	_, _, ctx := clusters.Test(3).Build(nil)
 	prm := baseParams()
-	if _, err := core.Train(ctx, make([][]glm.Example, 2), 4, prm, nil, "d"); err == nil {
+	if _, err := core.Train(ctx, make([]data.View, 2), 4, prm, nil, "d"); err == nil {
 		t.Error("want error for wrong partition count")
 	}
 }
@@ -306,7 +306,7 @@ func TestReweightScalesLocalSteps(t *testing.T) {
 func TestSVRGRejectsHinge(t *testing.T) {
 	_, _, ctx := clusters.Test(2).Build(nil)
 	prm := baseParams() // hinge
-	if _, err := core.TrainSVRG(ctx, make([][]glm.Example, 2), 4, prm, nil, "d"); err == nil {
+	if _, err := core.TrainSVRG(ctx, make([]data.View, 2), 4, prm, nil, "d"); err == nil {
 		t.Error("want error for hinge")
 	}
 }

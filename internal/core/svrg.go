@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mllibstar/internal/allreduce"
+	"mllibstar/internal/data"
 	"mllibstar/internal/des"
 	"mllibstar/internal/engine"
 	"mllibstar/internal/glm"
@@ -27,7 +28,7 @@ const SystemSVRG = "MLlib*-SVRG"
 // per-step traffic is exactly 2×MLlib*'s.
 //
 // SVRG needs a differentiable loss; hinge is rejected.
-func TrainSVRG(ctx *engine.Context, parts [][]glm.Example, dim int, prm train.Params,
+func TrainSVRG(ctx *engine.Context, parts []data.View, dim int, prm train.Params,
 	evalData []glm.Example, dataset string) (*train.Result, error) {
 
 	if err := prm.Validate(); err != nil {
@@ -42,7 +43,7 @@ func TrainSVRG(ctx *engine.Context, parts [][]glm.Example, dim int, prm train.Pa
 	}
 	total := 0
 	for _, part := range parts {
-		total += len(part)
+		total += part.NumRows()
 	}
 	if total == 0 {
 		return nil, fmt.Errorf("core: empty dataset")
@@ -83,7 +84,7 @@ func TrainSVRG(ctx *engine.Context, parts [][]glm.Example, dim int, prm train.Pa
 					Pure: func() float64 {
 						partial := ctx.GetVec(dim)
 						partials[i] = partial
-						work := prm.Objective.AddGradient(locals[i], parts[i], partial)
+						work := data.AddGradient(prm.Objective, locals[i], parts[i], partial)
 						return float64(work)
 					},
 					Run: func(p *des.Proc, ex *engine.Executor) (any, float64) {
@@ -97,11 +98,11 @@ func TrainSVRG(ctx *engine.Context, parts [][]glm.Example, dim int, prm train.Pa
 						// the charge is known upfront and the arithmetic
 						// overlaps it on the offload pool. SetSnapshot
 						// copies, so the pooled partial dies here.
-						inner := 2*glm.NNZTotal(parts[i]) + len(parts[i])*dim
+						inner := 2*parts[i].NNZ() + parts[i].NumRows()*dim
 						ex.ChargeAsync(p, float64(inner), func() {
 							vec.Scale(partial, float64(k)/float64(total)) // mean over all examples
 							states[i].SetSnapshot(local, partial)
-							states[i].Pass(prm.Objective, local, parts[i])
+							states[i].Pass(prm.Objective, local, parts[i].Examples())
 						})
 						ctx.PutVec(partial)
 
@@ -115,7 +116,7 @@ func TrainSVRG(ctx *engine.Context, parts [][]glm.Example, dim int, prm train.Pa
 			ctx.RunStage(p, fmt.Sprintf("svrg-%d", t), tasks)
 			var stepUpdates int64
 			for i := range parts {
-				stepUpdates += int64(len(parts[i]))
+				stepUpdates += int64(parts[i].NumRows())
 			}
 			res.Updates += stepUpdates
 			obs.Active().Updates(t, "", stepUpdates, p.Now())

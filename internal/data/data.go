@@ -215,10 +215,13 @@ func Preset(name string, scale float64) (Spec, error) {
 // examples are first shuffled deterministically so partitions are
 // statistically alike — the paper's setting, where data is randomly
 // distributed across workers. Each partition is repacked into its own CSR
-// arena (PackExamples): after the shuffle scatters rows, the repack restores
-// slab locality in exactly the order the owning executor will stream them,
-// with values bit-copied so training numerics cannot depend on the layout.
-func (d *Dataset) Partition(k int, seed int64) [][]glm.Example {
+// arena (PackExamples) and returned as that arena's View: after the shuffle
+// scatters rows, the repack restores slab locality in exactly the order the
+// owning executor will stream them, with values bit-copied so training
+// numerics cannot depend on the layout — and the trainers keep the packed
+// form end-to-end (batch windows are Sub views, slab kernels consume the
+// arena directly).
+func (d *Dataset) Partition(k int, seed int64) []View {
 	if k <= 0 {
 		panic(fmt.Sprintf("data: Partition(%d)", k))
 	}
@@ -227,10 +230,10 @@ func (d *Dataset) Partition(k int, seed int64) [][]glm.Example {
 	for i, j := range perm {
 		shuffled[i] = d.Examples[j]
 	}
-	parts := make([][]glm.Example, k)
+	parts := make([]View, k)
 	for i := 0; i < k; i++ {
 		lo, hi := vec.PartitionRange(len(shuffled), k, i)
-		parts[i] = PackExamples(shuffled[lo:hi]).Rows()
+		parts[i] = PackExamples(shuffled[lo:hi]).View()
 	}
 	return parts
 }

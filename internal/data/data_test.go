@@ -7,9 +7,6 @@ import (
 	"strings"
 	"testing"
 	"testing/quick"
-
-	"mllibstar/internal/glm"
-	"mllibstar/internal/opt"
 )
 
 func TestGenerateShape(t *testing.T) {
@@ -43,21 +40,6 @@ func TestGenerateDeterministic(t *testing.T) {
 	c := Generate(Spec{Name: "t", Rows: 100, Cols: 50, NNZPerRow: 5, Seed: 43})
 	if reflect.DeepEqual(a.Examples, c.Examples) {
 		t.Error("different seeds produced identical datasets")
-	}
-}
-
-func TestGenerateIsLearnable(t *testing.T) {
-	// The planted model must make the task solvable well above chance.
-	d := Generate(Spec{Name: "t", Rows: 2000, Cols: 50, NNZPerRow: 10, Seed: 7, NoiseRate: 0.02})
-	obj := glm.SVM(0)
-	w := make([]float64, d.Features)
-	step := 0
-	for ep := 0; ep < 5; ep++ {
-		opt.LocalPass(obj, w, d.Examples, opt.InvSqrt(0.5), step)
-		step += len(d.Examples)
-	}
-	if acc := glm.Accuracy(w, d.Examples); acc < 0.8 {
-		t.Errorf("accuracy after training = %g, want > 0.8", acc)
 	}
 }
 
@@ -134,8 +116,8 @@ func TestPartitionCoversAll(t *testing.T) {
 	total := 0
 	sizes := map[int]bool{}
 	for _, p := range parts {
-		total += len(p)
-		sizes[len(p)] = true
+		total += p.NumRows()
+		sizes[p.NumRows()] = true
 	}
 	if total != 103 {
 		t.Errorf("total = %d", total)
@@ -145,7 +127,7 @@ func TestPartitionCoversAll(t *testing.T) {
 	}
 	// Deterministic given the seed.
 	parts2 := d.Partition(8, 99)
-	if !reflect.DeepEqual(parts[0], parts2[0]) {
+	if !reflect.DeepEqual(parts[0].Examples(), parts2[0].Examples()) {
 		t.Error("partitioning not deterministic")
 	}
 }

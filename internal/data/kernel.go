@@ -1,0 +1,281 @@
+// Slab kernels: loss-specialized, cache-blocked inner loops that consume
+// the CSR arena directly instead of dispatching through per-row glm.Example
+// views and glm.Loss interface calls.
+//
+// Contract (every kernel, every loss):
+//
+//   - Bit identity. A kernel performs exactly the floating-point operations
+//     of the Example-view code it replaces — same per-row order, same
+//     per-nonzero order, same vec.Dot/vec.Axpy truncation at the first index
+//     ≥ len(model), same `d != 0` update guard — so a trainer produces
+//     Float64bits-identical models with kernels on or off.
+//   - Zero allocations. Kernels write only into caller-owned buffers.
+//   - Work accounting. Returned work is the structural nonzeros-touched
+//     measure of the interface path (full row NNZ, counting truncated
+//     entries, exactly like glm.Objective.AddGradient).
+//
+// Dispatch monomorphizes per loss: one type switch per kernel call selects a
+// hand-specialized body for hinge/logistic/squared in which the loss
+// derivative is a static, inlinable call on the concrete loss struct
+// (kernel_losses.go). Unknown losses and ConfigureKernels(false) fall back
+// to the original Example-view code path, which is what the kernels-on ≡
+// kernels-off parity suites compare against.
+package data
+
+import (
+	"mllibstar/internal/glm"
+	"mllibstar/internal/vec"
+)
+
+// kernelsOn gates the slab kernels. Like par/sparse/pipeline it is set once
+// at startup (prof.Start / ConfigureKernels) before any trainer runs, and
+// only read from the training paths.
+var kernelsOn = true
+
+// ConfigureKernels enables or disables the slab kernels process-wide.
+// Training results are bit-identical either way; only the wall-clock speed
+// of the local compute changes. Call before starting simulations.
+func ConfigureKernels(on bool) { kernelsOn = on }
+
+// KernelsEnabled reports whether the slab kernels are active.
+func KernelsEnabled() bool { return kernelsOn }
+
+// AddGradient accumulates the loss gradient over the view's rows into g,
+// exactly like glm.Objective.AddGradient over Examples(): g += Σ l'(<w,x>,
+// y)·x, returning nonzeros touched. With kernels enabled and a known loss it
+// runs the fused margin→deriv→axpy slab pass in BlockRows-sized cache
+// blocks; otherwise it falls back to the interface path.
+func AddGradient(obj glm.Objective, w []float64, v View, g []float64) (nnz int) {
+	if kernelsOn && v.c != nil {
+		blk := v.c.BlockRows(0)
+		switch obj.Loss.(type) {
+		case glm.Hinge:
+			for lo := v.lo; lo < v.hi; lo += blk {
+				nnz += addGradHinge(v.c, lo, minInt(lo+blk, v.hi), w, g)
+			}
+			return nnz
+		case glm.Logistic:
+			for lo := v.lo; lo < v.hi; lo += blk {
+				nnz += addGradLogistic(v.c, lo, minInt(lo+blk, v.hi), w, g)
+			}
+			return nnz
+		case glm.Squared:
+			for lo := v.lo; lo < v.hi; lo += blk {
+				nnz += addGradSquared(v.c, lo, minInt(lo+blk, v.hi), w, g)
+			}
+			return nnz
+		}
+	}
+	return obj.AddGradient(w, v.Examples(), g)
+}
+
+// AddGradientRows is AddGradient restricted to the given view-relative row
+// indices, in order — the sampled mini-batch gradient of the SendGradient
+// trainers, computed without gathering the rows into a fresh slice.
+func AddGradientRows(obj glm.Objective, w []float64, v View, rows []int32, g []float64) (nnz int) {
+	if kernelsOn && v.c != nil {
+		switch obj.Loss.(type) {
+		case glm.Hinge:
+			return addGradRowsHinge(v.c, v.lo, rows, w, g)
+		case glm.Logistic:
+			return addGradRowsLogistic(v.c, v.lo, rows, w, g)
+		case glm.Squared:
+			return addGradRowsSquared(v.c, v.lo, rows, w, g)
+		}
+	}
+	ex := v.Examples()
+	for _, ri := range rows {
+		e := ex[ri]
+		d := obj.Loss.Deriv(vec.Dot(w, e.X), e.Label)
+		if d != 0 {
+			vec.Axpy(d, e.X, g)
+		}
+		nnz += e.X.NNZ()
+	}
+	return nnz
+}
+
+// LossSum returns Σ l(<w,x>, y) over the view's rows, bit-identical to
+// glm.Objective.LossSum over Examples(): the slab bodies thread one running
+// sum through the cache blocks so the summation order is exactly the
+// interface path's row order.
+func LossSum(obj glm.Objective, w []float64, v View) float64 {
+	if kernelsOn && v.c != nil {
+		blk := v.c.BlockRows(0)
+		sum := 0.0
+		switch obj.Loss.(type) {
+		case glm.Hinge:
+			for lo := v.lo; lo < v.hi; lo += blk {
+				sum = lossSumHinge(v.c, lo, minInt(lo+blk, v.hi), w, sum)
+			}
+			return sum
+		case glm.Logistic:
+			for lo := v.lo; lo < v.hi; lo += blk {
+				sum = lossSumLogistic(v.c, lo, minInt(lo+blk, v.hi), w, sum)
+			}
+			return sum
+		case glm.Squared:
+			for lo := v.lo; lo < v.hi; lo += blk {
+				sum = lossSumSquared(v.c, lo, minInt(lo+blk, v.hi), w, sum)
+			}
+			return sum
+		}
+	}
+	return obj.LossSum(w, v.Examples())
+}
+
+// GradAndLoss computes AddGradient and LossSum in one fused slab pass:
+// g += Σ l'(<w,x>, y)·x and the returned loss sum Σ l(<w,x>, y), with the
+// margin of each row computed once and shared. The model is constant across
+// both quantities, so the result is bit-identical to calling AddGradient
+// followed by LossSum — but the dot products, the row-slab traffic, and (for
+// the logistic loss) the exponentials are paid once instead of twice. This
+// is the L-BFGS superstep hot path, where every iteration needs exactly this
+// gradient/loss pair.
+func GradAndLoss(obj glm.Objective, w []float64, v View, g []float64) (lossSum float64, nnz int) {
+	if kernelsOn && v.c != nil {
+		blk := v.c.BlockRows(0)
+		var n int
+		switch obj.Loss.(type) {
+		case glm.Hinge:
+			for lo := v.lo; lo < v.hi; lo += blk {
+				lossSum, n = gradLossHinge(v.c, lo, minInt(lo+blk, v.hi), w, g, lossSum)
+				nnz += n
+			}
+			return lossSum, nnz
+		case glm.Logistic:
+			for lo := v.lo; lo < v.hi; lo += blk {
+				lossSum, n = gradLossLogistic(v.c, lo, minInt(lo+blk, v.hi), w, g, lossSum)
+				nnz += n
+			}
+			return lossSum, nnz
+		case glm.Squared:
+			for lo := v.lo; lo < v.hi; lo += blk {
+				lossSum, n = gradLossSquared(v.c, lo, minInt(lo+blk, v.hi), w, g, lossSum)
+				nnz += n
+			}
+			return lossSum, nnz
+		}
+	}
+	ex := v.Examples()
+	return obj.LossSum(w, ex), obj.AddGradient(w, ex, g)
+}
+
+// Value returns the full objective f(w) = (1/n)·Σ l + Ω(w) over the view,
+// mirroring glm.Objective.Value (same division, same regularizer term).
+func Value(obj glm.Objective, w []float64, v View) float64 {
+	if v.NumRows() == 0 {
+		return obj.Reg.Value(w)
+	}
+	return LossSum(obj, w, v)/float64(v.NumRows()) + obj.Reg.Value(w)
+}
+
+// DerivsInto computes the per-row loss derivatives l'(<w,x_i>, y_i) of the
+// view into out (length ≥ NumRows) and reports whether a slab body handled
+// the loss. It exists for two-phase consumers like the sparse-accumulator
+// MGD step: w is constant during accumulation, so derivatives computed
+// up front are bit-identical to ones computed interleaved with the adds.
+func DerivsInto(loss glm.Loss, w []float64, v View, out []float64) bool {
+	if !kernelsOn || v.c == nil {
+		return false
+	}
+	blk := v.c.BlockRows(0)
+	switch loss.(type) {
+	case glm.Hinge:
+		for lo := v.lo; lo < v.hi; lo += blk {
+			derivsHinge(v.c, lo, minInt(lo+blk, v.hi), w, out[lo-v.lo:])
+		}
+	case glm.Logistic:
+		for lo := v.lo; lo < v.hi; lo += blk {
+			derivsLogistic(v.c, lo, minInt(lo+blk, v.hi), w, out[lo-v.lo:])
+		}
+	case glm.Squared:
+		for lo := v.lo; lo < v.hi; lo += blk {
+			derivsSquared(v.c, lo, minInt(lo+blk, v.hi), w, out[lo-v.lo:])
+		}
+	default:
+		return false
+	}
+	return true
+}
+
+// SGDPassPlain runs one epoch of unregularized per-example SGD over the
+// view — margin, derivative, and the w ← w − η·l'·x update fused into one
+// slab pass — and reports whether a slab body handled the loss (callers
+// keep the interface loop as the fallback). sched is indexed exactly like
+// opt.LocalPass: stepBase plus the view-relative row number.
+func SGDPassPlain(loss glm.Loss, w []float64, v View, sched func(int) float64, stepBase int) (work int, ok bool) {
+	if !kernelsOn || v.c == nil {
+		return 0, false
+	}
+	blk := v.c.BlockRows(0)
+	base := stepBase - v.lo // sched argument for arena row r is base + r
+	switch loss.(type) {
+	case glm.Hinge:
+		for lo := v.lo; lo < v.hi; lo += blk {
+			work += sgdPlainHinge(v.c, lo, minInt(lo+blk, v.hi), w, sched, base)
+		}
+	case glm.Logistic:
+		for lo := v.lo; lo < v.hi; lo += blk {
+			work += sgdPlainLogistic(v.c, lo, minInt(lo+blk, v.hi), w, sched, base)
+		}
+	case glm.Squared:
+		for lo := v.lo; lo < v.hi; lo += blk {
+			work += sgdPlainSquared(v.c, lo, minInt(lo+blk, v.hi), w, sched, base)
+		}
+	default:
+		return 0, false
+	}
+	return work, true
+}
+
+// lazyRescaleThreshold mirrors opt's rescaleThreshold: the scale s of the
+// lazily scaled representation w = s·vm is renormalized below it. The two
+// constants must stay equal for the kernels-on/off bit-identity contract;
+// TestSGDPassLazyL2MatchesStep pins the behaviour.
+const lazyRescaleThreshold = 1e-9
+
+// SGDPassLazyL2 runs one epoch of L2-regularized per-example SGD over the
+// view in Bottou's scaled representation w = s·vm, replicating
+// opt.LazyL2SGD.Step exactly: per example it computes the margin s·<vm,x>,
+// folds the shrinkage (1−ηλ) into s (materializing when the factor is
+// non-positive), applies the sparse −η·l'/s update to vm, and renormalizes
+// when s falls below the rescale threshold. It returns the updated scale
+// and the accumulated work, and reports whether a slab body handled the
+// loss; the caller owns the final materialization (and its +len(w) work),
+// exactly as opt.LocalPassWith does.
+func SGDPassLazyL2(loss glm.Loss, vm []float64, s, lambda float64, v View, sched func(int) float64, stepBase int) (sOut float64, work int, ok bool) {
+	if !kernelsOn || v.c == nil {
+		return s, 0, false
+	}
+	blk := v.c.BlockRows(0)
+	base := stepBase - v.lo
+	var n int
+	switch loss.(type) {
+	case glm.Hinge:
+		for lo := v.lo; lo < v.hi; lo += blk {
+			s, n = sgdLazyHinge(v.c, lo, minInt(lo+blk, v.hi), vm, s, lambda, sched, base)
+			work += n
+		}
+	case glm.Logistic:
+		for lo := v.lo; lo < v.hi; lo += blk {
+			s, n = sgdLazyLogistic(v.c, lo, minInt(lo+blk, v.hi), vm, s, lambda, sched, base)
+			work += n
+		}
+	case glm.Squared:
+		for lo := v.lo; lo < v.hi; lo += blk {
+			s, n = sgdLazySquared(v.c, lo, minInt(lo+blk, v.hi), vm, s, lambda, sched, base)
+			work += n
+		}
+	default:
+		return s, 0, false
+	}
+	return s, work, true
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,341 @@
+package data_test
+
+// Slab-kernel bit-identity at the data layer: every kernel entry point must
+// produce Float64bits-identical numbers and identical work counts to the
+// Example-view interface path it replaces — including when the model is
+// shorter than the feature space (the vec.Dot/vec.Axpy truncation rule), on
+// sub-views, and across cache-block boundaries. External test package: the
+// reference SGD implementations live in opt, which imports data.
+
+import (
+	"math"
+	"testing"
+
+	"mllibstar/internal/data"
+	"mllibstar/internal/glm"
+	"mllibstar/internal/opt"
+	"mllibstar/internal/vec"
+)
+
+// kernelObjectives covers every monomorphized loss, each with and without an
+// L2 term (the regularizer only matters for the SGD passes).
+func kernelObjectives() []struct {
+	name string
+	obj  glm.Objective
+} {
+	return []struct {
+		name string
+		obj  glm.Objective
+	}{
+		{"hinge", glm.SVM(0)},
+		{"hinge-l2", glm.SVM(0.1)},
+		{"logistic", glm.LogReg(0)},
+		{"logistic-l2", glm.LogReg(0.1)},
+		{"squared", glm.Objective{Loss: glm.Squared{}, Reg: glm.None{}}},
+		{"squared-l2", glm.Objective{Loss: glm.Squared{}, Reg: glm.L2{Strength: 0.1}}},
+	}
+}
+
+// kernelView builds a dataset large enough that the blocked kernels cross
+// several cache-block boundaries (BlockRows is far below 4000 rows at this
+// density), with enough columns that a short model exercises truncation.
+func kernelView(t *testing.T) (data.View, int) {
+	t.Helper()
+	d := data.Generate(data.Spec{Name: "k", Rows: 4000, Cols: 120, NNZPerRow: 8, Seed: 11, NoiseRate: 0.05})
+	v := data.ViewOf(d.Examples)
+	if blk := v.BlockRows(0); blk >= v.NumRows() {
+		t.Fatalf("BlockRows(0) = %d covers all %d rows; test would not cross blocks", blk, v.NumRows())
+	}
+	return v, d.Features
+}
+
+// testModel returns a deterministic non-trivial model of length n.
+func testModel(n int) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = math.Sin(float64(i)*0.7) * 0.3
+	}
+	return w
+}
+
+func requireBitsEqual(t *testing.T, label string, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d != %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("%s: [%d] = %x (kernel) != %x (interface)", label, i,
+				math.Float64bits(got[i]), math.Float64bits(want[i]))
+		}
+	}
+}
+
+func TestKernelAddGradientMatchesInterface(t *testing.T) {
+	v, dim := kernelView(t)
+	for _, tc := range kernelObjectives() {
+		// Full-width model and one shorter than the feature space: the second
+		// forces the truncated-prefix path on rows whose tail indices are cut.
+		for _, n := range []int{dim, dim / 3} {
+			w := testModel(n)
+			gk, gi := make([]float64, n), make([]float64, n)
+			nnzK := data.AddGradient(tc.obj, w, v, gk)
+			nnzI := tc.obj.AddGradient(w, v.Examples(), gi)
+			if nnzK != nnzI {
+				t.Errorf("%s dim=%d: work %d (kernel) != %d (interface)", tc.name, n, nnzK, nnzI)
+			}
+			requireBitsEqual(t, tc.name+" gradient", gk, gi)
+		}
+	}
+}
+
+func TestKernelAddGradientRowsMatchesInterface(t *testing.T) {
+	v, dim := kernelView(t)
+	sub := v.Sub(100, v.NumRows()-37) // offset view: arena rows != view rows
+	rows := make([]int32, 0, sub.NumRows()/3)
+	for r := 0; r < sub.NumRows(); r += 3 {
+		rows = append(rows, int32(r))
+	}
+	for _, tc := range kernelObjectives() {
+		w := testModel(dim / 2)
+		gk, gi := make([]float64, len(w)), make([]float64, len(w))
+		nnzK := data.AddGradientRows(tc.obj, w, sub, rows, gk)
+		ex := sub.Examples()
+		nnzI := 0
+		for _, ri := range rows {
+			e := ex[ri]
+			if d := tc.obj.Loss.Deriv(vec.Dot(w, e.X), e.Label); d != 0 {
+				vec.Axpy(d, e.X, gi)
+			}
+			nnzI += e.X.NNZ()
+		}
+		if nnzK != nnzI {
+			t.Errorf("%s: work %d (kernel) != %d (interface)", tc.name, nnzK, nnzI)
+		}
+		requireBitsEqual(t, tc.name+" row gradient", gk, gi)
+	}
+}
+
+func TestKernelLossSumAndValueMatchInterface(t *testing.T) {
+	v, dim := kernelView(t)
+	for _, tc := range kernelObjectives() {
+		for _, n := range []int{dim, dim / 3} {
+			w := testModel(n)
+			if k, i := data.LossSum(tc.obj, w, v), tc.obj.LossSum(w, v.Examples()); math.Float64bits(k) != math.Float64bits(i) {
+				t.Errorf("%s dim=%d: LossSum %x != %x", tc.name, n, math.Float64bits(k), math.Float64bits(i))
+			}
+			if k, i := data.Value(tc.obj, w, v), tc.obj.Value(w, v.Examples()); math.Float64bits(k) != math.Float64bits(i) {
+				t.Errorf("%s dim=%d: Value %x != %x", tc.name, n, math.Float64bits(k), math.Float64bits(i))
+			}
+		}
+	}
+}
+
+// TestKernelGradAndLossMatchesTwoPasses pins the fused kernel against the
+// two-pass interface path it replaces: same gradient bits, same loss-sum
+// bits (the logistic body shares one exponential between value and
+// derivative — the branch arithmetic must reproduce each method exactly).
+func TestKernelGradAndLossMatchesTwoPasses(t *testing.T) {
+	v, dim := kernelView(t)
+	for _, tc := range kernelObjectives() {
+		for _, n := range []int{dim, dim / 3} {
+			w := testModel(n)
+			gk, gi := make([]float64, n), make([]float64, n)
+			loss, nnzK := data.GradAndLoss(tc.obj, w, v, gk)
+			nnzI := tc.obj.AddGradient(w, v.Examples(), gi)
+			wantLoss := tc.obj.LossSum(w, v.Examples())
+			if nnzK != nnzI {
+				t.Errorf("%s dim=%d: work %d (fused) != %d (two-pass)", tc.name, n, nnzK, nnzI)
+			}
+			if math.Float64bits(loss) != math.Float64bits(wantLoss) {
+				t.Errorf("%s dim=%d: loss %x != %x", tc.name, n,
+					math.Float64bits(loss), math.Float64bits(wantLoss))
+			}
+			requireBitsEqual(t, tc.name+" fused gradient", gk, gi)
+		}
+	}
+}
+
+func TestKernelDerivsIntoMatchesLoop(t *testing.T) {
+	v, dim := kernelView(t)
+	sub := v.Sub(55, 2555)
+	out := make([]float64, sub.NumRows())
+	for _, tc := range kernelObjectives() {
+		w := testModel(dim / 2)
+		if !data.DerivsInto(tc.obj.Loss, w, sub, out) {
+			t.Fatalf("%s: DerivsInto did not handle a monomorphized loss", tc.name)
+		}
+		for i, e := range sub.Examples() {
+			want := tc.obj.Loss.Deriv(vec.Dot(w, e.X), e.Label)
+			if math.Float64bits(out[i]) != math.Float64bits(want) {
+				t.Fatalf("%s: deriv[%d] = %x != %x", tc.name, i,
+					math.Float64bits(out[i]), math.Float64bits(want))
+			}
+		}
+	}
+}
+
+func TestKernelSGDPassPlainMatchesLocalPass(t *testing.T) {
+	v, dim := kernelView(t)
+	sub := v.Sub(9, 3333)
+	for _, tc := range kernelObjectives() {
+		if tc.obj.Reg.Lambda() != 0 {
+			continue // the plain pass is the None-regularizer path
+		}
+		const stepBase = 17
+		sched := opt.InvSqrt(0.5)
+		wk := testModel(dim)
+		work, ok := data.SGDPassPlain(tc.obj.Loss, wk, sub, sched, stepBase)
+		if !ok {
+			t.Fatalf("%s: SGDPassPlain did not handle a monomorphized loss", tc.name)
+		}
+		wi := testModel(dim)
+		wantWork := opt.LocalPass(tc.obj, wi, sub.Examples(), sched, stepBase)
+		if work != wantWork {
+			t.Errorf("%s: work %d (kernel) != %d (interface)", tc.name, work, wantWork)
+		}
+		requireBitsEqual(t, tc.name+" plain SGD", wk, wi)
+	}
+}
+
+// TestSGDPassLazyL2MatchesStep pins the lazy-L2 kernel to opt.LazyL2SGD.Step
+// example by example, including the scaled-representation bookkeeping (the
+// shrink fold, the post-shrink −η·l'/s update, and the rescale threshold —
+// data.lazyRescaleThreshold must equal opt's rescaleThreshold for this to
+// hold).
+func TestSGDPassLazyL2MatchesStep(t *testing.T) {
+	v, dim := kernelView(t)
+	sub := v.Sub(0, 2000)
+	for _, tc := range kernelObjectives() {
+		lambda := tc.obj.Reg.Lambda()
+		if lambda == 0 {
+			continue
+		}
+		const stepBase = 5
+		// A large-eta prefix forces the shrink ≤ 0 materialization branch on
+		// the first step (1 − η·λ < 0 for η > 10 at λ = 0.1).
+		sched := func(step int) float64 {
+			if step < stepBase+2 {
+				return 11.0
+			}
+			return 0.5 / math.Sqrt(float64(step+1))
+		}
+		w0 := testModel(dim)
+
+		vm := vec.Copy(w0)
+		sOut, work, ok := data.SGDPassLazyL2(tc.obj.Loss, vm, 1, lambda, sub, sched, stepBase)
+		if !ok {
+			t.Fatalf("%s: SGDPassLazyL2 did not handle a monomorphized loss", tc.name)
+		}
+		wk := make([]float64, dim)
+		vec.ScaleTo(wk, sOut, vm)
+
+		lazy := opt.NewLazyL2SGD(w0, lambda)
+		wantWork := 0
+		for i, e := range sub.Examples() {
+			wantWork += lazy.Step(tc.obj.Loss, e, sched(stepBase+i))
+		}
+		wi := make([]float64, dim)
+		lazy.WeightsInto(wi)
+
+		if work != wantWork {
+			t.Errorf("%s: work %d (kernel) != %d (interface)", tc.name, work, wantWork)
+		}
+		requireBitsEqual(t, tc.name+" lazy L2 SGD", wk, wi)
+	}
+}
+
+// customLoss is an out-of-registry loss: the kernels must decline it and the
+// public entry points must fall back to the interface path.
+type customLoss struct{ glm.Squared }
+
+func (customLoss) Name() string { return "custom" }
+
+func TestKernelUnknownLossFallsBack(t *testing.T) {
+	v, dim := kernelView(t)
+	obj := glm.Objective{Loss: customLoss{}, Reg: glm.None{}}
+	w := testModel(dim)
+	if _, ok := data.SGDPassPlain(obj.Loss, vec.Copy(w), v, opt.Const(0.1), 0); ok {
+		t.Error("SGDPassPlain claimed to handle an unknown loss")
+	}
+	if _, _, ok := data.SGDPassLazyL2(obj.Loss, vec.Copy(w), 1, 0.1, v, opt.Const(0.1), 0); ok {
+		t.Error("SGDPassLazyL2 claimed to handle an unknown loss")
+	}
+	if ok := data.DerivsInto(obj.Loss, w, v, make([]float64, v.NumRows())); ok {
+		t.Error("DerivsInto claimed to handle an unknown loss")
+	}
+	// AddGradient/LossSum fall back internally; they must still agree with
+	// the interface path (which, for this loss, they are).
+	gk, gi := make([]float64, dim), make([]float64, dim)
+	if k, i := data.AddGradient(obj, w, v, gk), obj.AddGradient(w, v.Examples(), gi); k != i {
+		t.Errorf("fallback AddGradient work %d != %d", k, i)
+	}
+	requireBitsEqual(t, "fallback gradient", gk, gi)
+}
+
+func TestKernelConfigureOffMatchesOn(t *testing.T) {
+	v, dim := kernelView(t)
+	obj := glm.SVM(0.1)
+	w := testModel(dim)
+	g := func() []float64 {
+		out := make([]float64, dim)
+		data.AddGradient(obj, w, v, out)
+		return out
+	}
+	on := g()
+	data.ConfigureKernels(false)
+	defer data.ConfigureKernels(true)
+	if data.KernelsEnabled() {
+		t.Fatal("ConfigureKernels(false) did not take")
+	}
+	requireBitsEqual(t, "kernels on vs off", on, g())
+}
+
+func TestKernelEmptyView(t *testing.T) {
+	obj := glm.SVM(0.1)
+	w := testModel(8)
+	var empty data.View
+	if nnz := data.AddGradient(obj, w, empty, make([]float64, 8)); nnz != 0 {
+		t.Errorf("empty AddGradient work = %d", nnz)
+	}
+	if got, want := data.Value(obj, w, empty), obj.Reg.Value(w); math.Float64bits(got) != math.Float64bits(want) {
+		t.Errorf("empty Value = %v, want Reg-only %v", got, want)
+	}
+	if _, ok := data.SGDPassPlain(obj.Loss, w, empty, opt.Const(0.1), 0); ok {
+		t.Error("SGDPassPlain handled a nil-arena view")
+	}
+	// An empty sub-view of a real arena, by contrast, is handled (zero rows,
+	// zero work).
+	d := data.Generate(data.Spec{Name: "k", Rows: 10, Cols: 8, NNZPerRow: 2, Seed: 1})
+	sub := data.ViewOf(d.Examples).Sub(4, 4)
+	if nnz := data.AddGradient(obj, w, sub, make([]float64, 8)); nnz != 0 {
+		t.Errorf("empty sub-view AddGradient work = %d", nnz)
+	}
+}
+
+// TestKernelEntryPointsZeroAlloc pins the zero-allocation contract of the
+// kernel package itself: every slab entry point writes only into
+// caller-owned buffers.
+func TestKernelEntryPointsZeroAlloc(t *testing.T) {
+	d := data.Generate(data.Spec{Name: "k", Rows: 500, Cols: 60, NNZPerRow: 6, Seed: 3})
+	v := data.ViewOf(d.Examples)
+	obj := glm.SVM(0.1)
+	w := testModel(d.Features)
+	g := make([]float64, d.Features)
+	vm := vec.Copy(w)
+	derivs := make([]float64, v.NumRows())
+	rows := []int32{0, 3, 7, 11, 200, 499}
+	sched := opt.InvSqrt(0.5)
+	for name, fn := range map[string]func(){
+		"AddGradient":     func() { data.AddGradient(obj, w, v, g) },
+		"AddGradientRows": func() { data.AddGradientRows(obj, w, v, rows, g) },
+		"LossSum":         func() { data.LossSum(obj, w, v) },
+		"DerivsInto":      func() { data.DerivsInto(obj.Loss, w, v, derivs) },
+		"SGDPassPlain":    func() { data.SGDPassPlain(obj.Loss, w, v, sched, 0) },
+		"SGDPassLazyL2":   func() { data.SGDPassLazyL2(obj.Loss, vm, 1, 0.1, v, sched, 0) },
+	} {
+		if allocs := testing.AllocsPerRun(10, fn); allocs != 0 {
+			t.Errorf("%s: %g allocs/op, want 0", name, allocs)
+		}
+	}
+}

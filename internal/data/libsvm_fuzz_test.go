@@ -20,10 +20,10 @@ func FuzzReadLibSVM(f *testing.F) {
 		"1 2:1 1:1\n",     // invalid: descending indices within a row
 		"1 1:1 1:2\n",     // invalid: duplicate index within a row
 		"1 3:1 5:2 4:3\n", // invalid: descending after a valid prefix
-		"x 1:1\n",     // invalid label
-		"1 1:\n",      // empty value
-		"1 :\n",       // empty both
-		"1 1:nan\n",   // NaN parses as float; must round-trip or error
+		"x 1:1\n",         // invalid label
+		"1 1:\n",          // empty value
+		"1 :\n",           // empty both
+		"1 1:nan\n",       // NaN parses as float; must round-trip or error
 		strings.Repeat("1 1:1 2:2 3:3\n", 5),
 	}
 	for _, s := range seeds {

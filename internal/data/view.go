@@ -1,0 +1,76 @@
+package data
+
+import (
+	"fmt"
+
+	"mllibstar/internal/glm"
+)
+
+// View is a contiguous row range of a CSR arena — the unit the trainers now
+// hold instead of []glm.Example. A partition is a View over its own arena;
+// mini-batch windows are sub-Views sharing the same slabs, so re-batching
+// per superstep is pointer arithmetic on rowPtr, never a slice copy. The
+// zero View is an empty dataset.
+//
+// Views are the entry point to the slab kernels (AddGradient, LossSum,
+// SGDPassPlain, ...): a kernel streams the ind/val slabs of the underlying
+// arena across [lo, hi) directly. Code that still needs per-row
+// glm.Example values (evaluation, fallback paths, custom losses) uses
+// Examples, which is a subslice of the arena's precomputed row views — the
+// exact values trainers consumed before the kernels existed.
+type View struct {
+	c      *CSR
+	lo, hi int
+}
+
+// View returns the whole arena as a View.
+func (c *CSR) View() View { return View{c: c, lo: 0, hi: len(c.rows)} }
+
+// ViewOf packs the examples into a fresh arena and returns its full View.
+func ViewOf(examples []glm.Example) View { return PackExamples(examples).View() }
+
+// NumRows returns the number of rows in the view.
+func (v View) NumRows() int { return v.hi - v.lo }
+
+// NNZ returns the total stored nonzeros of the view's rows in O(1), via the
+// arena row pointers. It equals glm.NNZTotal over Examples() exactly, so
+// virtual-charge work formulas can use it without changing any cost.
+func (v View) NNZ() int {
+	if v.c == nil {
+		return 0
+	}
+	return v.c.rowPtr[v.hi] - v.c.rowPtr[v.lo]
+}
+
+// Examples returns the view's rows as glm.Example values backed by the
+// shared slabs (nil for an empty view).
+func (v View) Examples() []glm.Example {
+	if v.c == nil {
+		return nil
+	}
+	return v.c.rows[v.lo:v.hi]
+}
+
+// Sub returns the sub-view of rows [lo, hi) relative to this view — the
+// zero-copy batch window of the trainer inner loops.
+func (v View) Sub(lo, hi int) View {
+	if lo < 0 || hi < lo || v.lo+hi > v.hi {
+		panic(fmt.Sprintf("data: View.Sub(%d, %d) of %d rows", lo, hi, v.NumRows()))
+	}
+	return View{c: v.c, lo: v.lo + lo, hi: v.lo + hi}
+}
+
+// Row returns row i (relative to the view) as its label and slab slices.
+func (v View) Row(i int) (label float64, ind []int32, val []float64) {
+	r := v.lo + i
+	lo, hi := v.c.rowPtr[r], v.c.rowPtr[r+1]
+	return v.c.rows[r].Label, v.c.ind[lo:hi:hi], v.c.val[lo:hi:hi]
+}
+
+// BlockRows returns the arena's cache-block size in rows (see CSR.BlockRows).
+func (v View) BlockRows(targetBytes int) int {
+	if v.c == nil {
+		return 1
+	}
+	return v.c.BlockRows(targetBytes)
+}

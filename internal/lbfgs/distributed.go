@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"mllibstar/internal/allreduce"
+	"mllibstar/internal/data"
 	"mllibstar/internal/des"
 	"mllibstar/internal/engine"
 	"mllibstar/internal/glm"
@@ -49,7 +50,7 @@ const twoLoopWorkFactor = 4
 // cluster. Each iteration computes the exact gradient over all partitions;
 // the line search evaluates trial objectives with additional distributed
 // passes, exactly as spark.ml does.
-func TrainDistributed(ctx *engine.Context, parts [][]glm.Example, dim int, cfg DistConfig,
+func TrainDistributed(ctx *engine.Context, parts []data.View, dim int, cfg DistConfig,
 	evalData []glm.Example, dataset string) (*train.Result, error) {
 
 	if _, nonSmooth := cfg.Objective.Loss.(glm.Hinge); nonSmooth {
@@ -65,7 +66,7 @@ func TrainDistributed(ctx *engine.Context, parts [][]glm.Example, dim int, cfg D
 	cfg.Opts.defaults()
 	total := 0
 	for _, p := range parts {
-		total += len(p)
+		total += p.NumRows()
 	}
 	if total == 0 {
 		return nil, fmt.Errorf("lbfgs: empty dataset")
@@ -99,7 +100,7 @@ func regGradient(obj glm.Objective, w, g []float64) {
 // optimizer state; every gradient and every line-search evaluation is a
 // stage whose task descriptors broadcast the trial model and whose results
 // aggregate through the tree.
-func trainTree(ctx *engine.Context, parts [][]glm.Example, dim int, cfg DistConfig,
+func trainTree(ctx *engine.Context, parts []data.View, dim int, cfg DistConfig,
 	total int, ev *train.Evaluator, res *train.Result) {
 
 	k := ctx.NumExecutors()
@@ -117,8 +118,11 @@ func trainTree(ctx *engine.Context, parts [][]glm.Example, dim int, cfg DistConf
 		sum := ctx.TreeAggregateVec(p, tag, dim+1, aggs, sparse.WireBytesFor(w, nil),
 			func(i int) ([]float64, float64) {
 				out := ctx.GetVec(dim + 1)
-				work := cfg.Objective.AddGradient(w, parts[i], out[:dim])
-				out[dim] = cfg.Objective.LossSum(w, parts[i])
+				// Fused slab pass; the virtual charge stays the interface
+				// path's two-pass cost (gradient + loss) — fusion is a
+				// wall-clock optimization, not a simulated one.
+				loss, work := data.GradAndLoss(cfg.Objective, w, parts[i], out[:dim])
+				out[dim] = loss
 				return out, float64(work) * 2 // gradient + loss passes
 			})
 		g = vec.Copy(sum[:dim])
@@ -134,8 +138,8 @@ func trainTree(ctx *engine.Context, parts [][]glm.Example, dim int, cfg DistConf
 		sum := ctx.TreeAggregateVec(p, tag, 1, aggs, sparse.WireBytesFor(w, nil),
 			func(i int) ([]float64, float64) {
 				out := ctx.GetVec(1)
-				out[0] = cfg.Objective.LossSum(w, parts[i])
-				return out, float64(glm.NNZTotal(parts[i]))
+				out[0] = data.LossSum(cfg.Objective, w, parts[i])
+				return out, float64(parts[i].NNZ())
 			})
 		f := sum[0]/float64(total) + cfg.Objective.Reg.Value(w)
 		ctx.PutVec(sum)
@@ -204,7 +208,7 @@ func trainTree(ctx *engine.Context, parts [][]glm.Example, dim int, cfg DistConf
 // driver only schedules one stage per iteration. Because the simulation is
 // deterministic and the replicas are identical, the replica computation is
 // performed once and its cost charged to every executor.
-func trainAllReduce(ctx *engine.Context, parts [][]glm.Example, dim int, cfg DistConfig,
+func trainAllReduce(ctx *engine.Context, parts []data.View, dim int, cfg DistConfig,
 	total int, ev *train.Evaluator, res *train.Result) {
 
 	k := ctx.NumExecutors()
@@ -237,9 +241,8 @@ func trainAllReduce(ctx *engine.Context, parts [][]glm.Example, dim int, cfg Dis
 		// line-search acceptance) sits behind the AllReduce and barrier this
 		// closure's join precedes.
 		partial := make([]float64, dim+1)
-		ex.ChargeAsync(p, float64(glm.NNZTotal(parts[i]))*2, func() {
-			cfg.Objective.AddGradient(w, parts[i], partial[:dim])
-			partial[dim] = cfg.Objective.LossSum(w, parts[i])
+		ex.ChargeAsync(p, float64(parts[i].NNZ())*2, func() {
+			partial[dim], _ = data.GradAndLoss(cfg.Objective, w, parts[i], partial[:dim])
 		})
 		allreduce.Average(p, ex, ctx.Cluster.Execs, i, fmt.Sprintf("lbg%d", it), partial)
 
@@ -281,8 +284,8 @@ func trainAllReduce(ctx *engine.Context, parts [][]glm.Example, dim int, cfg Dis
 			}
 			bar.Arrive(p) // trial visible to all replicas
 			lossVec := []float64{0}
-			ex.ChargeAsync(p, float64(glm.NNZTotal(parts[i])), func() {
-				lossVec[0] = cfg.Objective.LossSum(shared.trial, parts[i])
+			ex.ChargeAsync(p, float64(parts[i].NNZ()), func() {
+				lossVec[0] = data.LossSum(cfg.Objective, shared.trial, parts[i])
 			})
 			allreduce.Sum(p, ex, ctx.Cluster.Execs, i, fmt.Sprintf("ls%d.%d", it, ls), lossVec)
 			if i == 0 {

@@ -10,7 +10,7 @@ import (
 	"mllibstar/internal/lbfgs"
 )
 
-func workload(k int) (*data.Dataset, [][]glm.Example) {
+func workload(k int) (*data.Dataset, []data.View) {
 	d := data.Generate(data.Spec{
 		Name: "toy", Rows: 1200, Cols: 120, NNZPerRow: 8, Seed: 11, NoiseRate: 0.02,
 	})
@@ -89,21 +89,21 @@ func TestValidation(t *testing.T) {
 	_, _, ctx := clusters.Test(2).Build(nil)
 	cfg := distCfg(false)
 	cfg.Objective = glm.SVM(0)
-	if _, err := lbfgs.TrainDistributed(ctx, make([][]glm.Example, 2), 10, cfg, nil, "d"); err == nil {
+	if _, err := lbfgs.TrainDistributed(ctx, make([]data.View, 2), 10, cfg, nil, "d"); err == nil {
 		t.Error("want error for hinge")
 	}
 	_, _, ctx2 := clusters.Test(2).Build(nil)
 	cfg2 := distCfg(false)
 	cfg2.MaxIters = 0
-	if _, err := lbfgs.TrainDistributed(ctx2, make([][]glm.Example, 2), 10, cfg2, nil, "d"); err == nil {
+	if _, err := lbfgs.TrainDistributed(ctx2, make([]data.View, 2), 10, cfg2, nil, "d"); err == nil {
 		t.Error("want error for zero iters")
 	}
 	_, _, ctx3 := clusters.Test(3).Build(nil)
-	if _, err := lbfgs.TrainDistributed(ctx3, make([][]glm.Example, 2), 10, distCfg(false), nil, "d"); err == nil {
+	if _, err := lbfgs.TrainDistributed(ctx3, make([]data.View, 2), 10, distCfg(false), nil, "d"); err == nil {
 		t.Error("want error for partition mismatch")
 	}
 	_, _, ctx4 := clusters.Test(2).Build(nil)
-	if _, err := lbfgs.TrainDistributed(ctx4, make([][]glm.Example, 2), 10, distCfg(false), nil, "d"); err == nil {
+	if _, err := lbfgs.TrainDistributed(ctx4, make([]data.View, 2), 10, distCfg(false), nil, "d"); err == nil {
 		t.Error("want error for empty dataset")
 	}
 }

@@ -12,6 +12,7 @@ package mavg
 import (
 	"fmt"
 
+	"mllibstar/internal/data"
 	"mllibstar/internal/des"
 	"mllibstar/internal/engine"
 	"mllibstar/internal/glm"
@@ -29,7 +30,7 @@ const System = "MLlib+MA"
 
 // Train runs SendModel with model averaging over treeAggregate. parts must
 // have one partition per executor, in executor order.
-func Train(ctx *engine.Context, parts [][]glm.Example, dim int, prm train.Params,
+func Train(ctx *engine.Context, parts []data.View, dim int, prm train.Params,
 	evalData []glm.Example, dataset string) (*train.Result, error) {
 
 	if err := prm.Validate(); err != nil {
@@ -73,13 +74,13 @@ func Train(ctx *engine.Context, parts [][]glm.Example, dim int, prm train.Params
 					work := 0
 					etaT := opt.Const(sched(t - 1))
 					for pass := 0; pass < prm.LocalPasses; pass++ {
-						work += opt.LocalPassWith(prm.Objective, local, parts[i], etaT, 0, scratch[i])
+						work += opt.LocalPassView(prm.Objective, local, parts[i], etaT, 0, scratch[i])
 					}
 					return local, float64(work)
 				})
 			var stepUpdates int64
 			for i := range parts {
-				stepUpdates += int64(prm.LocalPasses * len(parts[i]))
+				stepUpdates += int64(prm.LocalPasses * parts[i].NumRows())
 			}
 			res.Updates += stepUpdates
 			obs.Active().Updates(t, "", stepUpdates, p.Now())

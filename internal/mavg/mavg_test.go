@@ -11,7 +11,7 @@ import (
 	"mllibstar/internal/train"
 )
 
-func workload(k int) (*data.Dataset, [][]glm.Example) {
+func workload(k int) (*data.Dataset, []data.View) {
 	d := data.Generate(data.Spec{
 		Name: "toy", Rows: 800, Cols: 100, NNZPerRow: 8, Seed: 11, NoiseRate: 0.02,
 	})
@@ -119,7 +119,7 @@ func TestSameCommunicationPatternAsMLlib(t *testing.T) {
 
 func TestErrors(t *testing.T) {
 	_, _, ctx := clusters.Test(2).Build(nil)
-	if _, err := mavg.Train(ctx, make([][]glm.Example, 3), 10, params(), nil, "d"); err == nil {
+	if _, err := mavg.Train(ctx, make([]data.View, 3), 10, params(), nil, "d"); err == nil {
 		t.Error("want partition mismatch error")
 	}
 }

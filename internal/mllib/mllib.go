@@ -16,6 +16,7 @@ import (
 	"math"
 	"math/rand"
 
+	"mllibstar/internal/data"
 	"mllibstar/internal/des"
 	"mllibstar/internal/detrand"
 	"mllibstar/internal/engine"
@@ -46,7 +47,7 @@ func Aggregators(prm train.Params, k int) int {
 // Train runs SendGradient mini-batch gradient descent on the cluster behind
 // ctx. parts must have one partition per executor, in executor order.
 // evalData is the out-of-band evaluation set; dataset labels the curve.
-func Train(ctx *engine.Context, parts [][]glm.Example, dim int, prm train.Params,
+func Train(ctx *engine.Context, parts []data.View, dim int, prm train.Params,
 	evalData []glm.Example, dataset string) (*train.Result, error) {
 
 	if err := prm.Validate(); err != nil {
@@ -69,6 +70,11 @@ func Train(ctx *engine.Context, parts [][]glm.Example, dim int, prm train.Params
 
 	res := &train.Result{System: System, Curve: ev.Curve}
 	w := make([]float64, dim)
+	// Per-executor sampled-row scratch, reused across supersteps: the
+	// Bernoulli sampler appends row indices here instead of gathering a fresh
+	// example slice every step. Distinct buffers keep parallel task offload
+	// race-free.
+	rowScratch := make([][]int32, k)
 
 	sim.Spawn("driver:mllib", func(p *des.Proc) {
 		ev.Record(0, p.Now(), w)
@@ -91,12 +97,19 @@ func Train(ctx *engine.Context, parts [][]glm.Example, dim int, prm train.Params
 				func(i int) ([]float64, float64) {
 					local := parts[i]
 					rng := detrand.Step(prm.Seed, t, i)
-					batch := sampleFraction(rng, local, prm.BatchFraction)
 					g := ctx.GetVec(dim + 1)
-					work := prm.Objective.AddGradient(stepW, batch, g[:dim])
-					g[dim] = float64(len(batch))
+					var work, count int
+					if prm.BatchFraction >= 1 {
+						work = data.AddGradient(prm.Objective, stepW, local, g[:dim])
+						count = local.NumRows()
+					} else {
+						rows := sampleRows(rng, local.NumRows(), prm.BatchFraction, &rowScratch[i])
+						work = data.AddGradientRows(prm.Objective, stepW, local, rows, g[:dim])
+						count = len(rows)
+					}
+					g[dim] = float64(count)
 					// Sampling scans the partition; gradient work is nnz.
-					return g, float64(work) + float64(len(local))
+					return g, float64(work) + float64(local.NumRows())
 				})
 			count := sum[dim]
 			if count > 0 {
@@ -127,17 +140,19 @@ func Train(ctx *engine.Context, parts [][]glm.Example, dim int, prm train.Params
 	return res, nil
 }
 
-// sampleFraction draws a Bernoulli sample of the partition, matching
-// Spark's RDD.sample(false, fraction) used by MLlib's mini-batch step.
-func sampleFraction(rng *rand.Rand, data []glm.Example, fraction float64) []glm.Example {
-	if fraction >= 1 {
-		return data
-	}
-	out := make([]glm.Example, 0, int(fraction*float64(len(data)))+1)
-	for _, e := range data {
+// sampleRows draws a Bernoulli sample of the row indices [0, n), matching
+// Spark's RDD.sample(false, fraction) used by MLlib's mini-batch step: one
+// rng.Float64 per row, in row order, so the sampled rows are exactly the
+// examples the old slice-gathering sampler kept. The indices accumulate into
+// *buf, which is reused across supersteps — the per-step batch allocation is
+// gone.
+func sampleRows(rng *rand.Rand, n int, fraction float64, buf *[]int32) []int32 {
+	out := (*buf)[:0]
+	for r := 0; r < n; r++ {
 		if rng.Float64() < fraction {
-			out = append(out, e)
+			out = append(out, int32(r))
 		}
 	}
+	*buf = out
 	return out
 }

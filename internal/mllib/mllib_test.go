@@ -11,7 +11,7 @@ import (
 	"mllibstar/internal/train"
 )
 
-func workload(k int) (*data.Dataset, [][]glm.Example) {
+func workload(k int) (*data.Dataset, []data.View) {
 	d := data.Generate(data.Spec{
 		Name: "toy", Rows: 800, Cols: 100, NNZPerRow: 8, Seed: 11, NoiseRate: 0.02,
 	})
@@ -130,13 +130,13 @@ func TestBatchFractionOne(t *testing.T) {
 
 func TestErrors(t *testing.T) {
 	_, _, ctx := clusters.Test(2).Build(nil)
-	if _, err := mllib.Train(ctx, make([][]glm.Example, 3), 10, params(), nil, "d"); err == nil {
+	if _, err := mllib.Train(ctx, make([]data.View, 3), 10, params(), nil, "d"); err == nil {
 		t.Error("want partition mismatch error")
 	}
 	_, _, ctx2 := clusters.Test(2).Build(nil)
 	bad := params()
 	bad.MaxSteps = 0
-	if _, err := mllib.Train(ctx2, make([][]glm.Example, 2), 10, bad, nil, "d"); err == nil {
+	if _, err := mllib.Train(ctx2, make([]data.View, 2), 10, bad, nil, "d"); err == nil {
 		t.Error("want validation error")
 	}
 }

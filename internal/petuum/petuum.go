@@ -19,6 +19,7 @@ package petuum
 import (
 	"fmt"
 
+	"mllibstar/internal/data"
 	"mllibstar/internal/des"
 	"mllibstar/internal/detrand"
 	"mllibstar/internal/glm"
@@ -42,7 +43,7 @@ type Summation bool
 
 // Train runs the Petuum-like trainer over the given worker nodes. parts
 // must have one partition per node, in node order.
-func Train(sim *des.Sim, net *simnet.Network, nodeNames []string, parts [][]glm.Example,
+func Train(sim *des.Sim, net *simnet.Network, nodeNames []string, parts []data.View,
 	dim int, prm train.Params, evalData []glm.Example, dataset string, summation Summation) (*train.Result, error) {
 
 	if err := prm.Validate(); err != nil {
@@ -79,7 +80,7 @@ func Train(sim *des.Sim, net *simnet.Network, nodeNames []string, parts [][]glm.
 		r := r
 		node := net.Node(nodeNames[r])
 		part := parts[r]
-		batchSize := max(1, int(prm.BatchFraction*float64(len(part))))
+		batchSize := max(1, int(prm.BatchFraction*float64(part.NumRows())))
 		sim.Spawn(fmt.Sprintf("petuum:worker%d", r), func(p *des.Proc) {
 			cursor := 0
 			scratch := make([]float64, dim)
@@ -107,8 +108,9 @@ func Train(sim *des.Sim, net *simnet.Network, nodeNames []string, parts [][]glm.
 						break
 					}
 				}
-				batch, next := window(part, cursor, batchSize)
+				span1, span2, next := window(part, cursor, batchSize)
 				cursor = next
+				batchRows := span1.NumRows() + span2.NumRows()
 				eta := sched(t - 1)
 				// The step's work is structural — nonzeros in the batch, plus
 				// the dense delta construction when regularized — so the
@@ -116,7 +118,7 @@ func Train(sim *des.Sim, net *simnet.Network, nodeNames []string, parts [][]glm.
 				// computation overlaps it on the offload pool. The closure is
 				// pure: w is this worker's private pull buffer, scratch and
 				// delta are worker-owned, batch is read-only.
-				work := glm.NNZTotal(batch)
+				work := span1.NNZ() + span2.NNZ()
 				if !regIsNone {
 					work += 2 * dim
 				}
@@ -128,15 +130,25 @@ func Train(sim *des.Sim, net *simnet.Network, nodeNames []string, parts [][]glm.
 				node.ComputeAsyncKind(p, effort, trace.Compute, "", func() {
 					if regIsNone {
 						// Parallel SGD inside the batch: many updates per step.
+						// A wrapping window is two contiguous spans; running
+						// them back to back (stepBase continuing across the
+						// seam) is the same per-example update sequence the
+						// gathered batch produced.
 						local := vec.Copy(w)
-						opt.LocalPass(prm.Objective, local, batch, opt.Const(eta), 0)
+						opt.LocalPassView(prm.Objective, local, span1, opt.Const(eta), 0, nil)
+						if span2.NumRows() > 0 {
+							opt.LocalPassView(prm.Objective, local, span2, opt.Const(eta), span1.NumRows(), nil)
+						}
 						delta = local
 						vec.AddScaled(delta, w, -1)
 					} else {
 						// One dense batch-GD update per communication step.
 						delta = make([]float64, dim)
-						prm.Objective.AddGradient(w, batch, scratch) // scratch = Σ∇l
-						inv := eta / float64(len(batch))
+						data.AddGradient(prm.Objective, w, span1, scratch) // scratch = Σ∇l
+						if span2.NumRows() > 0 {
+							data.AddGradient(prm.Objective, w, span2, scratch)
+						}
+						inv := eta / float64(batchRows)
 						for j := 0; j < dim; j++ {
 							delta[j] = -inv*scratch[j] - eta*prm.Objective.Reg.DerivAt(w[j])
 							scratch[j] = 0
@@ -145,7 +157,7 @@ func Train(sim *des.Sim, net *simnet.Network, nodeNames []string, parts [][]glm.
 				})
 				upd := int64(1)
 				if regIsNone {
-					upd = int64(len(batch))
+					upd = int64(batchRows)
 				}
 				res.Updates += upd
 				obs.Active().Updates(t, node.Name(), upd, p.Now())
@@ -167,20 +179,21 @@ func Train(sim *des.Sim, net *simnet.Network, nodeNames []string, parts [][]glm.
 	return res, nil
 }
 
-// window returns a batch of size n starting at cursor, wrapping around the
-// partition, plus the next cursor position.
-func window(part []glm.Example, cursor, n int) ([]glm.Example, int) {
-	if n >= len(part) {
-		return part, 0
+// window returns the batch of size n starting at cursor as up to two
+// contiguous sub-views of the partition — the second non-empty only when the
+// window wraps around the end — plus the next cursor position. The old
+// wrap-around path gathered the two spans into a freshly allocated slice;
+// sub-views make every window, wrapping or not, a pair of rowPtr ranges.
+func window(part data.View, cursor, n int) (a, b data.View, next int) {
+	rows := part.NumRows()
+	if n >= rows {
+		return part, data.View{}, 0
 	}
-	if cursor+n <= len(part) {
-		return part[cursor : cursor+n], (cursor + n) % len(part)
+	if cursor+n <= rows {
+		return part.Sub(cursor, cursor+n), data.View{}, (cursor + n) % rows
 	}
-	batch := make([]glm.Example, 0, n)
-	batch = append(batch, part[cursor:]...)
-	rem := n - len(batch)
-	batch = append(batch, part[:rem]...)
-	return batch, rem
+	rem := n - (rows - cursor)
+	return part.Sub(cursor, rows), part.Sub(0, rem), rem
 }
 
 func max(a, b int) int {

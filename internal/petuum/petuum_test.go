@@ -12,7 +12,7 @@ import (
 	"mllibstar/internal/train"
 )
 
-func workload(k int) (*data.Dataset, [][]glm.Example) {
+func workload(k int) (*data.Dataset, []data.View) {
 	d := data.Generate(data.Spec{
 		Name: "toy", Rows: 1600, Cols: 200, NNZPerRow: 10, Seed: 11, NoiseRate: 0.02,
 	})
@@ -132,11 +132,11 @@ func TestValidationErrors(t *testing.T) {
 	sim, net, names := clusters.Test(2).BuildNet(nil)
 	prm := params(glm.SVM(0), 10)
 	prm.Eta = -1
-	if _, err := petuum.Train(sim, net, names, make([][]glm.Example, 2), 10, prm, nil, "d", false); err == nil {
+	if _, err := petuum.Train(sim, net, names, make([]data.View, 2), 10, prm, nil, "d", false); err == nil {
 		t.Error("want error for bad eta")
 	}
 	sim2, net2, names2 := clusters.Test(2).BuildNet(nil)
-	if _, err := petuum.Train(sim2, net2, names2, make([][]glm.Example, 3), 10, params(glm.SVM(0), 10), nil, "d", false); err == nil {
+	if _, err := petuum.Train(sim2, net2, names2, make([]data.View, 3), 10, params(glm.SVM(0), 10), nil, "d", false); err == nil {
 		t.Error("want error for partition mismatch")
 	}
 }

@@ -2,10 +2,13 @@
 // switches into the repository's CLIs: -par (the deterministic
 // compute-offload pool), -sparse (SparCML-style sparse model-delta
 // exchange), -pipeline/-chunks (chunked collectives overlapping compute
-// with communication), -obs/-obs-http (the structured telemetry layer),
+// with communication), -csrkernels (loss-monomorphized slab kernels over
+// the CSR arena), -obs/-obs-http (the structured telemetry layer),
 // -cpuprofile, -memprofile, and -trace. Results are bit-identical
 // with -par on or off — the flag only changes wall-clock behaviour — which
-// is what makes before/after profiles of the same run comparable. -sparse
+// is what makes before/after profiles of the same run comparable; the same
+// holds for -csrkernels, which only swaps the local compute between the
+// Example-view interface path and the slab kernels. -sparse
 // and -pipeline keep every training numeric and byte count bit-identical
 // too, but shrink simulated time (that is their point), so compare
 // simulated timings only within one -sparse/-pipeline setting. -obs
@@ -23,6 +26,7 @@ import (
 	"strconv"
 
 	"mllibstar/internal/allreduce"
+	"mllibstar/internal/data"
 	"mllibstar/internal/obs"
 	"mllibstar/internal/obs/obshttp"
 	"mllibstar/internal/par"
@@ -32,16 +36,17 @@ import (
 // Config holds the parsed flag values. Obtain one with Register, then call
 // Start after flag.Parse.
 type Config struct {
-	par      onOff
-	sparse   onOff
-	pipeline onOff
-	chunks   *int
-	workers  *int
-	cpu     *string
-	mem     *string
-	trace   *string
-	obsOut  *string
-	obsHTTP *string
+	par        onOff
+	sparse     onOff
+	pipeline   onOff
+	csrkernels onOff
+	chunks     *int
+	workers    *int
+	cpu        *string
+	mem        *string
+	trace      *string
+	obsOut     *string
+	obsHTTP    *string
 }
 
 // onOff is a boolean flag that also accepts the spellings on/off.
@@ -74,10 +79,11 @@ func (v *onOff) IsBoolFlag() bool { return true }
 
 // Register declares the flags on fs (normally flag.CommandLine).
 func Register(fs *flag.FlagSet) *Config {
-	c := &Config{par: true}
+	c := &Config{par: true, csrkernels: true}
 	fs.Var(&c.par, "par", "run pure numeric closures on the offload pool: on or off (bit-identical results; falls back to inline when GOMAXPROCS=1)")
 	fs.Var(&c.sparse, "sparse", "delta-encode model exchange when the nonzero coding is smaller: on or off (bit-identical numerics; changes simulated bytes and time)")
 	fs.Var(&c.pipeline, "pipeline", "pipeline the AllReduce supersteps: split the model into chunks and overlap chunk transfer with folding (bit-identical numerics and bytes; changes simulated time)")
+	fs.Var(&c.csrkernels, "csrkernels", "run trainer hot loops through the loss-monomorphized slab kernels over the CSR arena: on or off (bit-identical results; off runs the Example-view interface path)")
 	c.chunks = fs.Int("chunks", 0, "chunk count for -pipeline (0 = default "+strconv.Itoa(allreduce.DefaultChunks)+")")
 	c.workers = fs.Int("parworkers", 0, "offload pool size (0 = GOMAXPROCS)")
 	c.cpu = fs.String("cpuprofile", "", "write a CPU profile to this file")
@@ -95,6 +101,7 @@ func (c *Config) Start() (stop func(), err error) {
 	par.Configure(bool(c.par), *c.workers)
 	sparse.Configure(bool(c.sparse))
 	allreduce.Configure(bool(c.pipeline), *c.chunks)
+	data.ConfigureKernels(bool(c.csrkernels))
 
 	var cpuFile, traceFile *os.File
 	if *c.cpu != "" {
