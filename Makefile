@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint lint-fix lint-bench fuzz bench bench-smoke obs docs check clean
+.PHONY: build test race lint lint-fix lint-bench fuzz bench bench-smoke obs serve-demo serve-smoke docs check clean
 
 build: ## compile everything
 	$(GO) build ./...
@@ -48,10 +48,22 @@ obs: ## replay the committed sample event logs and diff against the golden repor
 	@rm -f obs_report_mllib.txt obs_report_mllibstar.txt
 	@echo "obs: replayed reports match the goldens"
 
+serve-demo: ## serve the committed checkpoints with a mid-traffic hot swap; the metrics file must match the golden byte-for-byte
+	$(GO) run ./cmd/mlstar-serve -model testdata/serve/ckpt_a.json -swap-model testdata/serve/ckpt_b.json \
+		-swap-at 0.05 -shards 4 -clients 8 -requests 50 -metrics-out serve_metrics.json
+	diff -u testdata/serve/metrics.golden serve_metrics.json
+	@rm -f serve_metrics.json
+	@echo "serve: metrics match the golden"
+
+serve-smoke: ## serving-tier unit tests (shard invariance, hot swap, checkpoint parity) + the golden-metrics demo
+	$(GO) test ./internal/serve
+	$(GO) test -run 'TestCheckpointServesBitIdentically|TestLazyL2CheckpointServes' .
+	$(MAKE) serve-demo
+
 docs: ## check ARCHITECTURE/README/EXPERIMENTS: intra-repo links + quoted commands
 	$(GO) test -run 'TestDocs' -v ./...
 
-check: build lint race fuzz docs ## everything CI runs
+check: build lint race fuzz serve-demo docs ## everything CI runs
 
 clean:
 	$(GO) clean ./...

@@ -19,27 +19,28 @@ import (
 
 func main() {
 	var (
-		system   = flag.String("system", "MLlib*", "training system: MLlib, MLlib+MA, MLlib*, Petuum, Petuum*, Angel")
-		preset   = flag.String("preset", "", "synthetic preset dataset: avazu, url, kddb, kdd12, wx")
-		scale    = flag.Float64("scale", 5000, "preset downscale factor")
-		dataPath = flag.String("data", "", "libsvm file to train on (alternative to -preset)")
-		loss     = flag.String("loss", "hinge", "loss: hinge, logistic, squared")
-		l2       = flag.Float64("l2", 0, "L2 regularization strength")
-		l1       = flag.Float64("l1", 0, "L1 regularization strength")
-		eta      = flag.Float64("eta", 0.3, "base learning rate")
-		decay    = flag.Bool("decay", true, "apply 1/sqrt(t) learning-rate decay")
-		batch    = flag.Float64("batch", 0.1, "mini-batch fraction (batch-based systems)")
-		steps    = flag.Int("steps", 50, "max communication steps")
-		target   = flag.Float64("target", 0, "stop when the objective reaches this value (0 = off)")
-		execs    = flag.Int("executors", 8, "number of executors/workers")
-		cluster2 = flag.Bool("cluster2", false, "use the heterogeneous 10 Gbps cluster preset")
-		adagrad  = flag.Bool("adagrad", false, "use AdaGrad as the local optimizer (MLlib*)")
-		reweight = flag.Bool("reweight", false, "Splash-style reweighted averaging (MLlib*)")
-		torrent  = flag.Bool("torrent", false, "use torrent broadcast (MLlib)")
-		stale    = flag.Int("staleness", 0, "SSP staleness (parameter-server systems)")
-		seed     = flag.Int64("seed", 7, "random seed")
-		csvOut   = flag.String("csv", "", "write the convergence curve CSV to this file")
-		gantt    = flag.Bool("gantt", false, "print an ASCII gantt chart of the run")
+		system    = flag.String("system", "MLlib*", "training system: MLlib, MLlib+MA, MLlib*, Petuum, Petuum*, Angel")
+		preset    = flag.String("preset", "", "synthetic preset dataset: avazu, url, kddb, kdd12, wx")
+		scale     = flag.Float64("scale", 5000, "preset downscale factor")
+		dataPath  = flag.String("data", "", "libsvm file to train on (alternative to -preset)")
+		loss      = flag.String("loss", "hinge", "loss: hinge, logistic, squared")
+		l2        = flag.Float64("l2", 0, "L2 regularization strength")
+		l1        = flag.Float64("l1", 0, "L1 regularization strength")
+		eta       = flag.Float64("eta", 0.3, "base learning rate")
+		decay     = flag.Bool("decay", true, "apply 1/sqrt(t) learning-rate decay")
+		batch     = flag.Float64("batch", 0.1, "mini-batch fraction (batch-based systems)")
+		steps     = flag.Int("steps", 50, "max communication steps")
+		target    = flag.Float64("target", 0, "stop when the objective reaches this value (0 = off)")
+		execs     = flag.Int("executors", 8, "number of executors/workers")
+		cluster2  = flag.Bool("cluster2", false, "use the heterogeneous 10 Gbps cluster preset")
+		adagrad   = flag.Bool("adagrad", false, "use AdaGrad as the local optimizer (MLlib*)")
+		reweight  = flag.Bool("reweight", false, "Splash-style reweighted averaging (MLlib*)")
+		torrent   = flag.Bool("torrent", false, "use torrent broadcast (MLlib)")
+		stale     = flag.Int("staleness", 0, "SSP staleness (parameter-server systems)")
+		seed      = flag.Int64("seed", 7, "random seed")
+		csvOut    = flag.String("csv", "", "write the convergence curve CSV to this file")
+		gantt     = flag.Bool("gantt", false, "print an ASCII gantt chart of the run")
+		saveModel = flag.String("save-model", "", "write the trained model checkpoint (JSON) to this file; serve it with mlstar-serve -model")
 	)
 	pc := prof.Register(flag.CommandLine)
 	flag.Parse()
@@ -106,6 +107,22 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", *csvOut)
+	}
+	if *saveModel != "" {
+		f, err := os.Create(*saveModel)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := res.Model.Save(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *saveModel)
 	}
 }
 

@@ -32,7 +32,7 @@ import (
 // docFiles are the documents `make docs` guards. They all live at the repo
 // root, so their relative links resolve against the test's working
 // directory.
-var docFiles = []string{"README.md", "ARCHITECTURE.md", "EXPERIMENTS.md", "DESIGN.md"}
+var docFiles = []string{"README.md", "ARCHITECTURE.md", "EXPERIMENTS.md", "DESIGN.md", "SERVING.md"}
 
 var linkRe = regexp.MustCompile(`\[[^\]\n]*\]\(([^)\s]+)\)`)
 
@@ -128,6 +128,68 @@ func TestDocsAnalyzers(t *testing.T) {
 		for _, a := range suite {
 			if !strings.Contains(string(text), a.Name) {
 				t.Errorf("%s: analyzer %q is in the lint suite but never mentioned", doc, a.Name)
+			}
+		}
+	}
+}
+
+// sourceFlags parses every flag definition in the CLIs (cmd/*) and the
+// shared engine flags (internal/prof), returning the set of flag names a
+// binary in this repository actually accepts.
+func sourceFlags(t *testing.T) map[string]bool {
+	t.Helper()
+	defRe := regexp.MustCompile(`\.(?:String|Int64|Int|Float64|Bool|Duration)\("([a-z][a-z0-9-]*)"`)
+	varRe := regexp.MustCompile(`\.Var\([^,]+,\s*"([a-z][a-z0-9-]*)"`)
+	files, err := filepath.Glob("cmd/*/*.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	files = append(files, "internal/prof/prof.go")
+	flags := map[string]bool{}
+	for _, f := range files {
+		text, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatalf("reading %s: %v", f, err)
+		}
+		for _, m := range defRe.FindAllStringSubmatch(string(text), -1) {
+			flags[m[1]] = true
+		}
+		for _, m := range varRe.FindAllStringSubmatch(string(text), -1) {
+			flags[m[1]] = true
+		}
+	}
+	if len(flags) == 0 {
+		t.Fatal("sourceFlags found no flag definitions — parsing regexes broken?")
+	}
+	return flags
+}
+
+// goToolFlags are flags of the go toolchain itself (and the repo's test
+// binaries) that dev commands in the docs legitimately quote.
+var goToolFlags = map[string]bool{
+	"bench": true, "benchmem": true, "benchtime": true, "run": true,
+	"race": true, "fuzz": true, "fuzztime": true, "update": true,
+	"count": true, "v": true,
+}
+
+// TestDocsFlags verifies that every `-flag` the docs quote — in fenced
+// code blocks, inline code spans, and the flag tables — exists in some
+// CLI's flag set. A renamed or removed flag fails here instead of
+// surviving as stale documentation.
+func TestDocsFlags(t *testing.T) {
+	known := sourceFlags(t)
+	flagRe := regexp.MustCompile(`(?:^|[^\w-])-([a-z][a-z0-9-]*)`)
+	for _, doc := range docFiles {
+		for _, snippet := range codeSnippets(t, doc) {
+			if i := strings.Index(snippet, "#"); i >= 0 {
+				snippet = snippet[:i]
+			}
+			for _, m := range flagRe.FindAllStringSubmatch(snippet, -1) {
+				name := m[1]
+				if known[name] || goToolFlags[name] {
+					continue
+				}
+				t.Errorf("%s: flag -%s is quoted but no CLI defines it", doc, name)
 			}
 		}
 	}

@@ -62,6 +62,7 @@ var Analyzer = &analysis.Analyzer{
 		"mllibstar/internal/opt",
 		"mllibstar/internal/petuum",
 		"mllibstar/internal/ps",
+		"mllibstar/internal/serve",
 		"mllibstar/internal/simnet",
 		"mllibstar/internal/trace",
 		"mllibstar/internal/train",

@@ -53,6 +53,7 @@ var Analyzer = &analysis.Analyzer{
 		"mllibstar/internal/opt",
 		"mllibstar/internal/petuum",
 		"mllibstar/internal/ps",
+		"mllibstar/internal/serve",
 		"mllibstar/internal/train",
 		"mllibstar/internal/vec",
 	},

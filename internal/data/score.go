@@ -1,0 +1,115 @@
+// Canonical block-fold scoring: the batch-scoring kernel of the serving
+// tier (internal/serve) and the definition of a GLM margin that makes the
+// sharded score a pure function of (model, request), independent of how the
+// coordinate space is partitioned.
+//
+// Float addition is not associative, so "each shard sums its coordinates and
+// the router adds the shard partials" would produce different bits for
+// different shard counts. Instead the margin is DEFINED as a fold over
+// fixed-width coordinate blocks:
+//
+//	margin(w, x) = fold over blocks b ascending of
+//	               ( sum left-to-right of w[j]*x[j] for nonzero j in block b )
+//
+// Shard coordinate ranges are block-aligned (ps.BlockAlignedRange), so every
+// block is owned by exactly one shard: shards emit per-(row, block) partial
+// sums and the router folds them in ascending block order, reproducing the
+// canonical fold bit-for-bit for any shard count — including one.
+package data
+
+// ScoreBlock is the width in coordinates of the canonical fold block. It is
+// part of the scoring definition (changing it changes low-order bits), not a
+// tuning knob.
+const ScoreBlock = 256
+
+// BlockPartial is one per-(row, block) partial margin emitted by a shard.
+// Twelve bytes on the simulated wire (two int32 + rounding to the float64).
+type BlockPartial struct {
+	Row   int32   // request index within the batch
+	Block int32   // coordinate block: coordinate j lives in block j/ScoreBlock
+	Sum   float64 // left-to-right sum of w[j]*x[j] over the block's nonzeros
+}
+
+// BlockMargins scores the view's rows against a shard's weight range
+// [lo, hi) and appends the nonzero-structure per-block partials to out,
+// rows in order, blocks ascending within a row. w is the shard-local slice
+// (w[j-lo] is coordinate j); the range must be ScoreBlock-aligned at lo and
+// at hi unless hi is the end of the coordinate space. Feature indices ≥
+// lo+len(w) contribute nothing, mirroring the vec.Dot truncation rule that
+// training uses for out-of-range indices.
+//
+// A block with no nonzeros in [lo, hi) emits nothing: absent partials are
+// zero terms of the fold, and skipping a zero add keeps the fold equal to
+// the dense definition only because FoldMargin re-inserts nothing — adding
+// 0.0 to a partial sum s yields s exactly (no signed-zero traffic: margins
+// of real requests start from +0).
+func BlockMargins(v View, w []float64, lo int, out []BlockPartial) []BlockPartial {
+	hi := lo + len(w)
+	for i := 0; i < v.NumRows(); i++ {
+		_, ind, val := v.Row(i)
+		block := int32(-1)
+		sum := 0.0
+		for k, j := range ind {
+			jj := int(j)
+			if jj < lo {
+				continue
+			}
+			if jj >= hi {
+				break // ind is ascending: nothing further is in range
+			}
+			b := j / ScoreBlock
+			if b != block {
+				if block >= 0 {
+					out = append(out, BlockPartial{Row: int32(i), Block: block, Sum: sum})
+				}
+				block, sum = b, 0
+			}
+			sum += w[jj-lo] * val[k]
+		}
+		if block >= 0 {
+			out = append(out, BlockPartial{Row: int32(i), Block: block, Sum: sum})
+		}
+	}
+	return out
+}
+
+// FoldMargin folds one row's partials — already in ascending block order —
+// into the canonical margin. Partials from different shards must be
+// concatenated shard-range-ascending before the call; since shard ranges
+// tile the coordinate space in order, that is simply shard 0's partials,
+// then shard 1's, and so on.
+func FoldMargin(parts []BlockPartial) float64 {
+	m := 0.0
+	for _, p := range parts {
+		m += p.Sum
+	}
+	return m
+}
+
+// Margin is the canonical single-machine margin: the block fold evaluated
+// with one shard owning the whole coordinate space. It is the reference the
+// sharded path must match bit-for-bit, and the scorer used when comparing a
+// loaded checkpoint against in-memory weights. Note it differs in low-order
+// bits from vec.Dot (a flat left-to-right sum), which is why serving defines
+// and documents its own fold.
+func Margin(w []float64, ind []int32, val []float64) float64 {
+	block := int32(-1)
+	sum, m := 0.0, 0.0
+	for k, j := range ind {
+		if int(j) >= len(w) {
+			break
+		}
+		b := j / ScoreBlock
+		if b != block {
+			if block >= 0 {
+				m += sum
+			}
+			block, sum = b, 0
+		}
+		sum += w[j] * val[k]
+	}
+	if block >= 0 {
+		m += sum
+	}
+	return m
+}

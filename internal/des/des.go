@@ -55,11 +55,17 @@ func New() *Sim {
 // Now returns the current virtual time in seconds.
 func (s *Sim) Now() float64 { return s.now }
 
-// event is a scheduled wake-up for a process.
+// event is a scheduled wake-up for a process. wake pins the process's
+// wake generation at scheduling time: a blocked process may have several
+// wake-ups scheduled (a queue item and a GetUntil deadline racing each
+// other), only the first of which may resume it — the kernel bumps the
+// generation on every delivery, turning the losers into stale events that
+// Run discards.
 type event struct {
 	at   float64
 	seq  uint64
 	proc *Proc
+	wake uint64
 }
 
 type eventHeap []event
@@ -80,7 +86,7 @@ func (s *Sim) schedule(at float64, p *Proc) {
 		panic(fmt.Sprintf("des: scheduling event in the past: %g < %g", at, s.now))
 	}
 	s.seq++
-	heap.Push(&s.events, event{at: at, seq: s.seq, proc: p})
+	heap.Push(&s.events, event{at: at, seq: s.seq, proc: p, wake: p.wake})
 	p.pending++
 }
 
@@ -95,6 +101,7 @@ type Proc struct {
 	done    bool
 	blocked string // description of the primitive the process is blocked on
 	pending int    // number of scheduled wake-ups not yet delivered
+	wake    uint64 // wake generation: bumped on every delivered resume
 }
 
 // Name returns the process name given at Spawn time.
@@ -171,13 +178,17 @@ func (s *Sim) Run() float64 {
 	for s.events.Len() > 0 {
 		ev := heap.Pop(&s.events).(event)
 		ev.proc.pending--
-		if ev.proc.done {
+		if ev.proc.done || ev.wake != ev.proc.wake {
+			// Finished process, or a wake-up that lost its race (the
+			// process was already resumed by a newer event and has moved
+			// on — e.g. a GetUntil deadline overtaken by a queue item).
 			continue
 		}
 		if ev.at < s.now {
 			panic("des: clock moved backwards")
 		}
 		s.now = ev.at
+		ev.proc.wake++
 		s.switchTo(ev.proc)
 	}
 	s.shutdown()

@@ -64,6 +64,42 @@ func (q *Queue[T]) Get(p *Proc) T {
 	return w.value
 }
 
+// GetUntil is Get with a virtual-time deadline: it removes and returns the
+// oldest value if one is buffered or arrives strictly before deadline, and
+// otherwise returns the zero value with ok=false once the deadline passes.
+// When a Put and the deadline land at the same instant, the deadline wins
+// (the kernel fires it first — it was scheduled earlier) and the value stays
+// queued for the next getter, so no value is ever lost to a timeout.
+//
+// It is the primitive under request batching with a latency budget
+// (internal/serve): a router drains its mailbox until either the batch
+// fills or the budget deadline passes, whichever comes first.
+func (q *Queue[T]) GetUntil(p *Proc, deadline float64) (T, bool) {
+	var zero T
+	if v, ok := q.TryGet(); ok {
+		return v, true
+	}
+	if deadline <= q.sim.now {
+		return zero, false
+	}
+	w := &getWaiter[T]{proc: p}
+	q.waiters = append(q.waiters, w)
+	q.sim.schedule(deadline, p)
+	p.block(fmt.Sprintf("recv on queue %q until t=%.6f", q.name, deadline))
+	if w.ready {
+		return w.value, true
+	}
+	// Woken by the deadline: withdraw the registration so a later Put does
+	// not assign a value to a getter that has given up.
+	for i, x := range q.waiters {
+		if x == w {
+			q.waiters = append(q.waiters[:i], q.waiters[i+1:]...)
+			break
+		}
+	}
+	return zero, false
+}
+
 // TryGet removes and returns the oldest value without blocking. The second
 // result reports whether a value was available.
 func (q *Queue[T]) TryGet() (T, bool) {

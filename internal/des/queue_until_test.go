@@ -1,0 +1,137 @@
+package des
+
+import "testing"
+
+// TestGetUntilValueFirst: a value arriving before the deadline is delivered
+// at its arrival time, and the stale deadline wake-up must not disturb the
+// process's later blocking.
+func TestGetUntilValueFirst(t *testing.T) {
+	s := New()
+	q := NewQueue[int](s, "q")
+	s.Spawn("producer", func(p *Proc) {
+		p.Wait(1)
+		q.Put(7)
+		p.Wait(4) // well past the consumer's deadline
+		q.Put(8)
+	})
+	s.Spawn("consumer", func(p *Proc) {
+		v, ok := q.GetUntil(p, 3)
+		if !ok || v != 7 {
+			t.Errorf("GetUntil = (%d, %v), want (7, true)", v, ok)
+		}
+		if p.Now() != 1 {
+			t.Errorf("delivered at t=%g, want 1", p.Now())
+		}
+		// The stale deadline event at t=3 must not wake this Get early.
+		v2 := q.Get(p)
+		if v2 != 8 || p.Now() != 5 {
+			t.Errorf("second Get = %d at t=%g, want 8 at t=5", v2, p.Now())
+		}
+	})
+	s.Run()
+}
+
+// TestGetUntilTimeout: with no value by the deadline, GetUntil returns
+// ok=false exactly at the deadline, and a value put later goes to the next
+// getter, not the withdrawn one.
+func TestGetUntilTimeout(t *testing.T) {
+	s := New()
+	q := NewQueue[int](s, "q")
+	s.Spawn("producer", func(p *Proc) {
+		p.Wait(10)
+		q.Put(42)
+	})
+	s.Spawn("consumer", func(p *Proc) {
+		_, ok := q.GetUntil(p, 2)
+		if ok {
+			t.Error("GetUntil returned a value before any Put")
+		}
+		if p.Now() != 2 {
+			t.Errorf("timeout at t=%g, want 2", p.Now())
+		}
+		v := q.Get(p)
+		if v != 42 || p.Now() != 10 {
+			t.Errorf("Get after timeout = %d at t=%g, want 42 at t=10", v, p.Now())
+		}
+	})
+	s.Run()
+}
+
+// TestGetUntilBuffered: a buffered value is returned immediately without
+// consuming virtual time, and an already-passed deadline polls.
+func TestGetUntilBuffered(t *testing.T) {
+	s := New()
+	q := NewQueue[int](s, "q")
+	q.Put(1)
+	s.Spawn("consumer", func(p *Proc) {
+		v, ok := q.GetUntil(p, 5)
+		if !ok || v != 1 || p.Now() != 0 {
+			t.Errorf("GetUntil buffered = (%d, %v) at t=%g, want (1, true) at 0", v, ok, p.Now())
+		}
+		// Deadline in the past: pure poll, empty queue -> ok=false, no time.
+		if _, ok := q.GetUntil(p, 0); ok {
+			t.Error("GetUntil with passed deadline returned a value from an empty queue")
+		}
+		if p.Now() != 0 {
+			t.Errorf("poll consumed time: t=%g", p.Now())
+		}
+	})
+	s.Run()
+}
+
+// TestGetUntilSimultaneous: when a Put lands at exactly the deadline, the
+// deadline wins (it was scheduled first) and the value stays queued for the
+// next receive — timed out, but never lost.
+func TestGetUntilSimultaneous(t *testing.T) {
+	s := New()
+	q := NewQueue[int](s, "q")
+	s.Spawn("consumer", func(p *Proc) {
+		_, ok := q.GetUntil(p, 3)
+		if ok {
+			t.Error("same-instant Put beat the deadline; want timeout")
+		}
+		if p.Now() != 3 {
+			t.Errorf("timeout at t=%g, want 3", p.Now())
+		}
+		v := q.Get(p)
+		if v != 9 || p.Now() != 3 {
+			t.Errorf("value lost to the race: Get = %d at t=%g, want 9 at t=3", v, p.Now())
+		}
+	})
+	s.Spawn("producer", func(p *Proc) {
+		p.Wait(3)
+		q.Put(9)
+	})
+	s.Run()
+}
+
+// TestGetUntilRepeated: a batching loop — drain until a deadline — sees
+// every value at its arrival time and then times out cleanly.
+func TestGetUntilRepeated(t *testing.T) {
+	s := New()
+	q := NewQueue[int](s, "q")
+	s.Spawn("producer", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			p.Wait(1)
+			q.Put(i)
+		}
+	})
+	var got []int
+	s.Spawn("batcher", func(p *Proc) {
+		deadline := 5.0
+		for {
+			v, ok := q.GetUntil(p, deadline)
+			if !ok {
+				break
+			}
+			got = append(got, v)
+		}
+		if p.Now() != 5 {
+			t.Errorf("batch closed at t=%g, want 5", p.Now())
+		}
+	})
+	s.Run()
+	if len(got) != 3 || got[0] != 0 || got[1] != 1 || got[2] != 2 {
+		t.Errorf("batch = %v, want [0 1 2]", got)
+	}
+}

@@ -175,6 +175,11 @@ func Attribute(events []Event) *Report {
 			get(e.Step).stat.Updates += e.Count
 			totalUpdates += e.Count
 			continue
+		case PhaseServeRequest, PhaseServeBatch, PhaseServeSwap:
+			// serving bookkeeping spans (request latency, batch windows) are
+			// not node activity; letting them into the extents would stretch
+			// step spans and misattribute the slack as wait time
+			continue
 		}
 		a := get(e.Step)
 		if !a.hasExtent || e.Start < a.stat.Start {

@@ -41,7 +41,8 @@ func RecorderFromEvents(events []Event) *trace.Recorder {
 	rec := trace.New()
 	for _, e := range events {
 		switch e.Phase {
-		case PhaseStep, PhaseEval, PhaseUpdates, PhaseMeta:
+		case PhaseStep, PhaseEval, PhaseUpdates, PhaseMeta,
+			PhaseServeRequest, PhaseServeBatch, PhaseServeSwap:
 			continue
 		case PhaseStage:
 			rec.Mark(e.Start, e.Note+" start")

@@ -60,6 +60,14 @@ const (
 	PhaseEval    Phase = "eval"    // out-of-band objective evaluation (carries Loss)
 	PhaseUpdates Phase = "updates" // model-update counter event (carries Count)
 	PhaseMeta    Phase = "meta"    // run metadata (Note holds key=value)
+
+	// Serving-tier bookkeeping phases (internal/serve). Like step/eval/
+	// updates these are observations about the run, not node activity: they
+	// carry no charge, book no compute or network seconds, and are excluded
+	// from gantt reconstruction and bottleneck attribution.
+	PhaseServeRequest Phase = "serve-request" // one scored request: span = client-observed latency, Count = scoring epoch
+	PhaseServeBatch   Phase = "serve-batch"   // one flushed batch: Count = batch size, Note = flush reason (full|deadline|swap)
+	PhaseServeSwap    Phase = "serve-swap"    // hot model swap activation: Count = the new epoch
 )
 
 // Channel classifies which logical link a message used, following the
@@ -74,6 +82,7 @@ const (
 	ChanShuffle   Channel = "shuffle"
 	ChanBroadcast Channel = "broadcast"
 	ChanPS        Channel = "ps"
+	ChanServe     Channel = "serve"
 	ChanOther     Channel = "other"
 )
 
@@ -114,9 +123,10 @@ func EncodingOf(payload any) Encoding {
 // "res:<stage>" are the driver's dispatch/result legs, "agg:<name>" the
 // treeAggregate legs, "xch:rs:<name>"/"xch:ag:<name>" the AllReduce shuffle
 // rounds, "xch:bc<step>" the torrent-broadcast chunks, other "xch:" tags the
-// generic ByKey shuffles, and "ps." the parameter-server mailboxes (whose
+// generic ByKey shuffles, "ps." the parameter-server mailboxes (whose
 // pull/push split is supplied explicitly by internal/ps, since both request
-// kinds share one server mailbox tag).
+// kinds share one server mailbox tag), and "serve." the scoring-tier
+// mailboxes of internal/serve.
 func ClassifyTag(tag string) (Phase, Channel) {
 	switch {
 	case tag == "task":
@@ -135,6 +145,8 @@ func ClassifyTag(tag string) (Phase, Channel) {
 		return PhaseShuffle, ChanShuffle
 	case hasPrefix(tag, "ps."):
 		return PhaseComm, ChanPS
+	case hasPrefix(tag, "serve."):
+		return PhaseComm, ChanServe
 	}
 	return PhaseComm, ChanOther
 }

@@ -47,6 +47,7 @@ type Config struct {
 	trace      *string
 	obsOut     *string
 	obsHTTP    *string
+	metricsOut *string
 }
 
 // onOff is a boolean flag that also accepts the spellings on/off.
@@ -91,6 +92,7 @@ func Register(fs *flag.FlagSet) *Config {
 	c.trace = fs.String("trace", "", "write a runtime execution trace to this file")
 	c.obsOut = fs.String("obs", "", "record the structured superstep event log and write it to this file as JSONL on exit (replay with mlstar-obs)")
 	c.obsHTTP = fs.String("obs-http", "", "serve live telemetry (/metrics, /events, dashboard) on this address, e.g. :8080; implies event recording")
+	c.metricsOut = fs.String("metrics-out", "", "write the final metrics registry as canonical JSON to this file on exit; implies event recording (deterministic runs produce byte-identical files — the serve-demo golden relies on this)")
 	return c
 }
 
@@ -137,7 +139,7 @@ func (c *Config) Start() (stop func(), err error) {
 	// charging it — results stay bit-identical with -obs on or off.
 	var sink *obs.Sink
 	var stopHTTP func()
-	if *c.obsOut != "" || *c.obsHTTP != "" {
+	if *c.obsOut != "" || *c.obsHTTP != "" || *c.metricsOut != "" {
 		sink = obs.Enable()
 	}
 	if *c.obsHTTP != "" {
@@ -167,6 +169,16 @@ func (c *Config) Start() (stop func(), err error) {
 					fmt.Fprintln(os.Stderr, "prof:", err)
 				}
 				_ = f.Close()
+			}
+		}
+		if *c.metricsOut != "" && sink != nil {
+			// MarshalJSON snapshots in canonical family/series order, so a
+			// deterministic run writes a byte-stable file.
+			blob, err := sink.Registry().MarshalJSON()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "prof:", err)
+			} else if err := os.WriteFile(*c.metricsOut, append(blob, '\n'), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "prof:", err)
 			}
 		}
 		if stopHTTP != nil {

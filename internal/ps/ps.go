@@ -93,7 +93,7 @@ func New(sim *des.Sim, net *simnet.Network, nodeNames []string, cfg Config) (*PS
 	}
 	p := &PS{cfg: cfg, net: net, hosts: nodeNames[:cfg.Servers]}
 	for s := 0; s < cfg.Servers; s++ {
-		lo, hi := vec.PartitionRange(cfg.Dim, cfg.Servers, s)
+		lo, hi := Range(cfg.Dim, cfg.Servers, s)
 		srv := &server{
 			ps:     p,
 			index:  s,
@@ -108,6 +108,33 @@ func New(sim *des.Sim, net *simnet.Network, nodeNames []string, cfg Config) (*PS
 
 // Config returns the deployment configuration.
 func (p *PS) Config() Config { return p.cfg }
+
+// Range returns the contiguous model coordinate range [lo, hi) owned by
+// server i of k over a dim-coordinate model — the canonical range
+// partitioning of this package, exported so other range-sharded tiers
+// (internal/serve) agree with the parameter server about ownership.
+func Range(dim, k, i int) (lo, hi int) { return vec.PartitionRange(dim, k, i) }
+
+// BlockAlignedRange is Range with both endpoints rounded to multiples of
+// block (the final shard absorbs the tail): the blocks are partitioned with
+// Range and converted back to coordinates. The serving tier partitions on
+// data.ScoreBlock boundaries this way so every fold block of the canonical
+// scoring order is owned by exactly one shard.
+func BlockAlignedRange(dim, k, i, block int) (lo, hi int) {
+	if block <= 0 {
+		panic(fmt.Sprintf("ps: BlockAlignedRange block=%d", block))
+	}
+	nb := (dim + block - 1) / block
+	bLo, bHi := vec.PartitionRange(nb, k, i)
+	lo, hi = bLo*block, bHi*block
+	if lo > dim {
+		lo = dim
+	}
+	if hi > dim {
+		hi = dim
+	}
+	return lo, hi
+}
 
 // serverTag is the request mailbox tag on a server's host node.
 func serverTag(s int) string { return fmt.Sprintf("ps.req%d", s) }
@@ -181,7 +208,7 @@ func (p *PS) Pull(proc *des.Proc, nodeName string, worker, clock int) []float64 
 	for i := 0; i < p.cfg.Servers; i++ {
 		msg := node.Recv(proc, replyTag)
 		r := msg.Payload.(rangeReply)
-		lo, _ := vec.PartitionRange(p.cfg.Dim, p.cfg.Servers, r.server)
+		lo, _ := Range(p.cfg.Dim, p.cfg.Servers, r.server)
 		copy(w[lo:], r.vals)
 	}
 	return w
@@ -195,7 +222,7 @@ func (p *PS) Push(proc *des.Proc, nodeName string, worker, clock int, delta []fl
 	}
 	node := p.net.Node(nodeName)
 	for s := 0; s < p.cfg.Servers; s++ {
-		lo, hi := vec.PartitionRange(p.cfg.Dim, p.cfg.Servers, s)
+		lo, hi := Range(p.cfg.Dim, p.cfg.Servers, s)
 		chunk := append([]float64(nil), delta[lo:hi]...)
 		node.SendPhase(proc, p.hosts[s], serverTag(s),
 			float64(hi-lo)*8, pushReq{worker: worker, clock: clock, vals: chunk}, obs.PhasePSPush)

@@ -1,0 +1,116 @@
+package mllibstar
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"mllibstar/internal/clusters"
+	"mllibstar/internal/data"
+	"mllibstar/internal/des"
+	"mllibstar/internal/glm"
+	"mllibstar/internal/opt"
+	"mllibstar/internal/serve"
+)
+
+// scoreOnShards deploys the weights across k scoring shards and scores each
+// example through the full simulated serving path (client → router → shards
+// → fold → client), returning margins in example order.
+func scoreOnShards(t *testing.T, w []float64, k int, examples []Example) []float64 {
+	t.Helper()
+	sim, net, names := clusters.Test(1).BuildServe(k, 1, nil)
+	d, err := serve.New(sim, net, serve.Names{Router: names.Router, Shards: names.Shards},
+		serve.Config{Dim: len(w), BatchMax: 8, BatchBudget: 0.001}, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	margins := make([]float64, len(examples))
+	sim.Spawn("scorer", func(p *des.Proc) {
+		for i, e := range examples {
+			m, epoch := d.ScoreSync(p, names.Clients[0], i, e.X.Ind, e.X.Val)
+			if epoch != 0 {
+				t.Errorf("example %d scored on epoch %d, want 0", i, epoch)
+			}
+			margins[i] = m
+		}
+	})
+	sim.Run()
+	return margins
+}
+
+// TestCheckpointServesBitIdentically: a model checkpoint written mid-training
+// round-trips through Save/LoadModel and, deployed on a shard set, scores
+// every example bit-identically to the in-memory weights — for 1 and 4
+// shards, with the L2 path exercising the lazily-scaled trainer
+// representation behind the checkpoint.
+func TestCheckpointServesBitIdentically(t *testing.T) {
+	ds := GenerateDataset("serve-ckpt", 2000, 600, 8, 11)
+	// MaxSteps well below convergence: a mid-training snapshot, exactly what
+	// a production trainer periodically checkpoints. L2 > 0 makes the local
+	// optimizer hold the model in the scaled representation w = s·v; the
+	// checkpoint stores the materialized weights.
+	res, err := Train(ds, Config{Loss: "logistic", L2: 0.001, Eta: 0.3, Decay: true, MaxSteps: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.Model.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range back.Weights {
+		if math.Float64bits(back.Weights[j]) != math.Float64bits(res.Model.Weights[j]) {
+			t.Fatalf("weight %d changed across the checkpoint round trip", j)
+		}
+	}
+	examples := ds.Examples[:50]
+	want := make([]float64, len(examples))
+	for i, e := range examples {
+		// The serving tier's canonical block fold over the in-memory weights
+		// — the oracle every deployment must reproduce exactly.
+		want[i] = data.Margin(res.Model.Weights, e.X.Ind, e.X.Val)
+	}
+	for _, k := range []int{1, 4} {
+		got := scoreOnShards(t, back.Weights, k, examples)
+		for i := range want {
+			if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("%d shards, example %d: served margin %x != in-memory %x",
+					k, i, math.Float64bits(got[i]), math.Float64bits(want[i]))
+			}
+		}
+	}
+}
+
+// TestLazyL2CheckpointServes: weights materialized straight out of the
+// lazily-scaled L2 representation (w = s·v, opt.LazyL2SGD) checkpoint and
+// serve bit-identically — the representation never leaks into the scores.
+func TestLazyL2CheckpointServes(t *testing.T) {
+	ds := GenerateDataset("serve-lazy", 500, 600, 8, 13)
+	loss := glm.Logistic{}
+	lazy := opt.NewLazyL2SGD(make([]float64, ds.Features), 0.01)
+	for _, e := range ds.Examples {
+		lazy.Step(loss, e, 0.1)
+	}
+	w := lazy.Weights()
+	m := &Model{Weights: w, loss: loss}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	examples := ds.Examples[:30]
+	got := scoreOnShards(t, back.Weights, 4, examples)
+	for i, e := range examples {
+		want := data.Margin(w, e.X.Ind, e.X.Val)
+		if math.Float64bits(got[i]) != math.Float64bits(want) {
+			t.Fatalf("example %d: served margin %x != lazy-L2 in-memory %x",
+				i, math.Float64bits(got[i]), math.Float64bits(want))
+		}
+	}
+}
