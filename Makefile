@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint lint-fix lint-bench fuzz bench bench-smoke obs serve-demo serve-smoke docs check clean
+.PHONY: build test race lint lint-fix lint-bench fuzz bench bench-smoke obs critpath serve-demo serve-smoke docs check clean
 
 build: ## compile everything
 	$(GO) build ./...
@@ -27,18 +27,19 @@ lint-bench: ## cold vs warm lint-suite wall time -> BENCH_6.json
 	  $(GO) run ./cmd/mlstar-lint -vet=false -bench warm ./... ) \
 		| tee /dev/stderr | $(GO) run ./cmd/mlstar-benchjson -out BENCH_6.json
 
-fuzz: ## short fuzz runs: libsvm reader + sparse encoding + telemetry event round-trips
+fuzz: ## short fuzz runs: libsvm reader + sparse encoding + telemetry event round-trips + causal graph pipeline
 	$(GO) test -fuzz=FuzzReadLibSVM -fuzztime=10s ./internal/data
 	$(GO) test -fuzz=FuzzRoundTrip -fuzztime=10s ./internal/sparse
 	$(GO) test -fuzz=FuzzEventRoundTrip -fuzztime=10s ./internal/obs
+	$(GO) test -fuzz=FuzzCausalGraph -fuzztime=10s ./internal/causal
 
-bench: ## wall-clock benchmarks (offload/sparse/pipeline/obs on/off, slab kernels, CSR layout) -> BENCH_7.json
+bench: ## wall-clock benchmarks (offload/sparse/pipeline/obs/causal on/off, slab kernels, CSR layout) -> BENCH_8.json
 	$(GO) test -bench 'BenchmarkWallClock' -run '^$$' -benchmem ./internal/bench \
-		| tee /dev/stderr | $(GO) run ./cmd/mlstar-benchjson -out BENCH_7.json
+		| tee /dev/stderr | $(GO) run ./cmd/mlstar-benchjson -out BENCH_8.json
 
 bench-smoke: ## one-iteration benchmark pass + bit-identity tests + CSR zero-alloc guard
 	$(GO) test -bench 'BenchmarkWallClock' -benchtime=1x -run '^$$' -benchmem ./internal/bench
-	$(GO) test -run 'TestParallelOffload|TestKernelAllocReduction|TestSparse|TestObs|TestPipeline|TestCSRBatchZeroAllocs|TestCSRKernel' -v ./internal/bench
+	$(GO) test -run 'TestParallelOffload|TestKernelAllocReduction|TestSparse|TestObs|TestPipeline|TestCSRBatchZeroAllocs|TestCSRKernel|TestCritPath|TestWhatIf' -v ./internal/bench
 
 obs: ## replay the committed sample event logs and diff against the golden reports
 	$(GO) run ./cmd/mlstar-obs -in internal/bench/testdata/obs_events_mllib.jsonl > obs_report_mllib.txt
@@ -47,6 +48,18 @@ obs: ## replay the committed sample event logs and diff against the golden repor
 	diff -u internal/bench/testdata/obs_report_mllibstar.golden obs_report_mllibstar.txt
 	@rm -f obs_report_mllib.txt obs_report_mllibstar.txt
 	@echo "obs: replayed reports match the goldens"
+
+critpath: ## replay the committed causal logs and diff the critical-path + what-if reports against the goldens
+	$(GO) run ./cmd/mlstar-obs -in internal/bench/testdata/obs_events_mllib.jsonl -critpath > critpath_mllib.txt
+	diff -u internal/bench/testdata/critpath_mllib.golden critpath_mllib.txt
+	$(GO) run ./cmd/mlstar-obs -in internal/bench/testdata/obs_events_mllibstar.jsonl -critpath > critpath_mllibstar.txt
+	diff -u internal/bench/testdata/critpath_mllibstar.golden critpath_mllibstar.txt
+	$(GO) run ./cmd/mlstar-obs -in internal/bench/testdata/obs_events_mllib.jsonl -whatif > whatif_mllib.txt
+	diff -u internal/bench/testdata/whatif_mllib.golden whatif_mllib.txt
+	$(GO) run ./cmd/mlstar-obs -in internal/bench/testdata/obs_events_mllibstar.jsonl -whatif > whatif_mllibstar.txt
+	diff -u internal/bench/testdata/whatif_mllibstar.golden whatif_mllibstar.txt
+	@rm -f critpath_mllib.txt critpath_mllibstar.txt whatif_mllib.txt whatif_mllibstar.txt
+	@echo "critpath: replayed reports match the goldens"
 
 serve-demo: ## serve the committed checkpoints with a mid-traffic hot swap; the metrics file must match the golden byte-for-byte
 	$(GO) run ./cmd/mlstar-serve -model testdata/serve/ckpt_a.json -swap-model testdata/serve/ckpt_b.json \
@@ -63,7 +76,7 @@ serve-smoke: ## serving-tier unit tests (shard invariance, hot swap, checkpoint 
 docs: ## check ARCHITECTURE/README/EXPERIMENTS: intra-repo links + quoted commands
 	$(GO) test -run 'TestDocs' -v ./...
 
-check: build lint race fuzz serve-demo docs ## everything CI runs
+check: build lint race fuzz serve-demo critpath docs ## everything CI runs
 
 clean:
 	$(GO) clean ./...

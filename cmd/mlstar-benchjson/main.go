@@ -16,6 +16,10 @@
 //     telemetry sub-runs — the wall-clock price of recording the structured
 //     event log (results are bit-identical either way). The companion
 //     obs_events_per_op is the obs=on sub-run's obsevents/op metric.
+//   - trace_overhead: ns/op(causal=on) / ns/op(causal=off) for benchmarks
+//     with causal-tracing sub-runs — the wall-clock price of enriching the
+//     event log with happens-before fields and extracting the critical path
+//     (results are bit-identical either way).
 //   - sim_speedup_pipeline: simsec/op(pipeline=off) / simsec/op(pipeline=on)
 //     for benchmarks with superstep-schedule sub-runs; >1 means chunked
 //     compute/communication overlap shortened the simulated clock (bytes
@@ -32,7 +36,7 @@
 //
 // Usage:
 //
-//	go test -bench 'BenchmarkWallClock' -benchmem ./internal/bench | mlstar-benchjson -out BENCH_7.json
+//	go test -bench 'BenchmarkWallClock' -benchmem ./internal/bench | mlstar-benchjson -out BENCH_8.json
 package main
 
 import (
@@ -82,6 +86,12 @@ type artifact struct {
 	// metric of the obs=on sub-run: how many structured events one run of
 	// the benchmark workload generates.
 	ObsEventsPerOp map[string]float64 `json:"obs_events_per_op,omitempty"`
+	// TraceOverhead maps a benchmark's base name to ns/op(causal=on) /
+	// ns/op(causal=off) for benchmarks with causal-tracing sub-runs: the
+	// wall-clock price of recording the happens-before enrichment and running
+	// critical-path extraction on top of plain telemetry. Results are
+	// bit-identical either way, so this is pure tracing-and-analysis cost.
+	TraceOverhead map[string]float64 `json:"trace_overhead,omitempty"`
 	// SimSpeedupPipeline maps a benchmark's base name to
 	// simsec/op(pipeline=off) / simsec/op(pipeline=on) — the virtual-time
 	// win from overlapping chunk transfer with folding. The matching
@@ -113,7 +123,7 @@ var benchPrefix = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.*)$`)
 var cpuSuffix = regexp.MustCompile(`-\d+$`)
 
 func main() {
-	out := flag.String("out", "BENCH_7.json", "output JSON path")
+	out := flag.String("out", "BENCH_8.json", "output JSON path")
 	flag.Parse()
 
 	art, err := parse(bufio.NewScanner(os.Stdin))
@@ -184,6 +194,8 @@ func parse(sc *bufio.Scanner) (*artifact, error) {
 	// Overhead is on/off, so the suffix roles are swapped relative to the
 	// speedup tables.
 	art.ObsOverhead = ratios(art.Benchmarks, "/obs=on", "/obs=off",
+		func(r benchResult) float64 { return r.NsPerOp })
+	art.TraceOverhead = ratios(art.Benchmarks, "/causal=on", "/causal=off",
 		func(r benchResult) float64 { return r.NsPerOp })
 	art.SimSpeedupPipeline = ratios(art.Benchmarks, "/pipeline=off", "/pipeline=on",
 		func(r benchResult) float64 { return r.Metrics["simsec/op"] })

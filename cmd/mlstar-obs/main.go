@@ -9,7 +9,10 @@
 //   - the deterministic metrics registry rebuilt from the events, in
 //     Prometheus text exposition (-metrics);
 //   - the repo's standard SVG views regenerated from the log alone:
-//     convergence curve (-curve) and Figure-3 gantt chart (-gantt).
+//     convergence curve (-curve) and Figure-3 gantt chart (-gantt);
+//   - on causally-enriched logs (recorded with -causal), the message-level
+//     critical-path report (-critpath) and the what-if re-timing table
+//     (-whatif), both computed by internal/causal.
 //
 // Usage:
 //
@@ -18,6 +21,8 @@
 //	mlstar-obs -in events.jsonl -metrics        # /metrics exposition
 //	mlstar-obs -in events.jsonl -gantt f3.svg   # gantt SVG from the log
 //	mlstar-obs -in events.jsonl -curve c.svg    # convergence SVG
+//	mlstar-obs -in events.jsonl -critpath       # critical-path report
+//	mlstar-obs -in events.jsonl -whatif         # what-if re-timing table
 //	mlstar-obs -in events.jsonl -serve :8080    # live dashboard over the log
 //
 // Everything is derived from the event log, so two runs that produced
@@ -31,6 +36,7 @@ import (
 	"fmt"
 	"os"
 
+	"mllibstar/internal/causal"
 	"mllibstar/internal/metrics"
 	"mllibstar/internal/obs"
 	"mllibstar/internal/obs/obshttp"
@@ -43,6 +49,9 @@ func main() {
 		metText = flag.Bool("metrics", false, "emit the rebuilt metrics registry in Prometheus text format")
 		gantt   = flag.String("gantt", "", "write a Figure-3 gantt SVG regenerated from the log to this path")
 		curve   = flag.String("curve", "", "write a convergence-curve SVG regenerated from the log to this path")
+		crit    = flag.Bool("critpath", false, "emit the critical-path report (needs a log recorded with -causal)")
+		whatif  = flag.Bool("whatif", false, "emit the what-if re-timing table (needs a log recorded with -causal)")
+		topN    = flag.Int("top", 20, "number of path segments in the -critpath report")
 		serve   = flag.String("serve", "", "serve the log's dashboard on this address (e.g. :8080) instead of exiting")
 	)
 	flag.Parse()
@@ -93,6 +102,17 @@ func main() {
 	}
 
 	switch {
+	case *crit || *whatif:
+		g, err := causal.Analyze(events)
+		if err != nil {
+			fatal(fmt.Errorf("building causal graph: %v (record the log with -causal)", err))
+		}
+		if *crit {
+			fmt.Print(causal.CriticalPath(g).Text(*topN))
+		}
+		if *whatif {
+			fmt.Print(causal.WhatIfText(g, causal.WhatIf(g, causal.StandardScenarios(g))))
+		}
 	case *metText:
 		if err := obs.SinkFromEvents(events).Registry().WriteText(os.Stdout); err != nil {
 			fatal(err)

@@ -46,6 +46,7 @@ var Analyzer = &analysis.Analyzer{
 	DefaultScope: []string{
 		"mllibstar/internal/allreduce",
 		"mllibstar/internal/angel",
+		"mllibstar/internal/causal",
 		"mllibstar/internal/core",
 		"mllibstar/internal/engine",
 		"mllibstar/internal/lbfgs",

@@ -57,6 +57,7 @@ var Analyzer = &analysis.Analyzer{
 		"mllibstar/internal/allreduce",
 		"mllibstar/internal/angel",
 		"mllibstar/internal/bench",
+		"mllibstar/internal/causal",
 		"mllibstar/internal/clusters",
 		"mllibstar/internal/core",
 		"mllibstar/internal/data",

@@ -1,0 +1,67 @@
+package bench
+
+// Wall-clock cost of the causal tracing layer. The causal=off sub-run records
+// the plain structured event log; causal=on additionally enriches every event
+// with the happens-before fields and then builds the trace graph and extracts
+// the critical path — the full price of a -causal run replayed through
+// mlstar-obs -critpath. `make bench` feeds the pair to mlstar-benchjson,
+// which derives trace_overhead = ns/op(causal=on) / ns/op(causal=off).
+// Results are bit-identical in both modes — see causal_parity_test.go — so
+// this measures time only.
+
+import (
+	"testing"
+
+	"mllibstar/internal/causal"
+	"mllibstar/internal/clusters"
+	"mllibstar/internal/obs"
+)
+
+// BenchmarkWallClockCritPath times the regularized MLlib-vs-MLlib* workload
+// of Figure 4 with plain telemetry versus causal tracing plus critical-path
+// extraction.
+func BenchmarkWallClockCritPath(b *testing.B) {
+	w := benchWorkload(b)
+	for _, mode := range []struct {
+		name   string
+		causal bool
+	}{{"causal=off", false}, {"causal=on", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var nodes float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// One sink per system: each run restarts the virtual clock,
+				// so each log is analyzed as its own trace graph.
+				for _, sys := range []string{sysMLlib, sysMLlibStar} {
+					var s *obs.Sink
+					if mode.causal {
+						s = obs.EnableCausal()
+					} else {
+						s = obs.Enable()
+					}
+					prm := tuned(sys, "avazu", 0.1)
+					prm.MaxSteps = 10
+					if _, err := runSystem(sys, clusters.Test(4), w, prm, nil); err != nil {
+						obs.Disable()
+						b.Fatal(err)
+					}
+					events := s.Events()
+					obs.Disable()
+					if mode.causal {
+						g, err := causal.Analyze(events)
+						if err != nil {
+							b.Fatal(err)
+						}
+						_ = causal.CriticalPath(g)
+						nodes += float64(len(g.Nodes))
+					}
+				}
+			}
+			b.StopTimer()
+			if mode.causal && b.N > 0 {
+				b.ReportMetric(nodes/float64(b.N), "causalnodes/op")
+			}
+		})
+	}
+}

@@ -1,0 +1,324 @@
+package bench
+
+// Causal trace graph validation: recording the causally-enriched event log
+// (obs.EnableCausal, the -causal flag) must not move a single bit of any
+// result — the enrichment rides the same observe-never-charge path as plain
+// telemetry — and the graph built from a live log must be well-formed, its
+// critical-path decomposition must telescope to the makespan, and the
+// what-if re-timer must reproduce the recorded schedule bit-for-bit under
+// the identity scenario. The what-if sweeps close the loop against reality:
+// the chunk predictions from a sequential trace are checked against actual
+// pipelined reruns, within a pinned tolerance.
+//
+// The golden critical-path and what-if reports ride the committed Fig.4
+// sample logs (testdata/obs_events_*.jsonl); regenerate everything with
+//
+//	go test ./internal/bench -run 'TestObsGoldenAttribution|TestCritPathGolden' -update
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mllibstar/internal/allreduce"
+	"mllibstar/internal/causal"
+	"mllibstar/internal/clusters"
+	"mllibstar/internal/core"
+	"mllibstar/internal/glm"
+	"mllibstar/internal/lbfgs"
+	"mllibstar/internal/obs"
+	"mllibstar/internal/trace"
+	"mllibstar/internal/train"
+)
+
+// runWithCausal is runWithObs with the causal enrichment switched on: same
+// sink, same restore, plus the per-event process/message stamps.
+func runWithCausal(on bool, fn func()) []obs.Event {
+	if !on {
+		fn()
+		return nil
+	}
+	s := obs.EnableCausal()
+	defer obs.Disable()
+	fn()
+	return s.Events()
+}
+
+// requireCausalGraph builds and validates the graph from a live log and pins
+// the package's two exactness contracts: the critical-path decomposition
+// telescopes (Busy + Latency + Wait = Makespan up to float association) and
+// the identity re-timing reproduces the recorded makespan bit-for-bit.
+func requireCausalGraph(t *testing.T, system string, events []obs.Event) *causal.Graph {
+	t.Helper()
+	g, err := causal.Analyze(events)
+	if err != nil {
+		t.Fatalf("%s: %v", system, err)
+	}
+	mk := g.Makespan()
+	p := causal.CriticalPath(g)
+	if math.Float64bits(p.Makespan) != math.Float64bits(mk) {
+		t.Errorf("%s: critical path makespan %v != graph makespan %v", system, p.Makespan, mk)
+	}
+	if sum := p.Busy + p.Latency + p.Wait; math.Abs(sum-mk) > 1e-6*math.Max(1, mk) {
+		t.Errorf("%s: path decomposition %g (busy %g + latency %g + wait %g) does not telescope to makespan %g",
+			system, sum, p.Busy, p.Latency, p.Wait, mk)
+	}
+	id := causal.Retime(g, causal.Scenario{Name: "identity"})
+	if id.Err != "" {
+		t.Fatalf("%s: identity retime failed: %s", system, id.Err)
+	}
+	if math.Float64bits(id.Makespan) != math.Float64bits(mk) {
+		t.Errorf("%s: identity retime makespan %v != recorded %v", system, id.Makespan, mk)
+	}
+	return g
+}
+
+// TestCritPathBitIdentity runs every trainer config of the parity matrix
+// twice — causal tracing off and on — and requires full bitwise equality of
+// the results, the charged bytes, and the engine trace CSV; then validates
+// the graph built from the on-run's log. Tracing is observation only: it
+// must not shift the virtual clock by one ulp.
+func TestCritPathBitIdentity(t *testing.T) {
+	cfg := RunConfig{Scale: 20000, EvalCap: 200}
+	w, err := loadWorkload("avazu", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type runner struct {
+		name string
+		run  func(rec *trace.Recorder) *train.Result
+	}
+	var cases []runner
+	for _, tc := range []struct {
+		system string
+		l2     float64
+	}{
+		{sysMLlib, 0.1},
+		{sysMLlib, 0},
+		{sysMAvg, 0.1},
+		{sysMLlibStar, 0.1},
+		{sysMLlibStar, 0},
+		{sysPetuumStar, 0.1},
+		{sysPetuumStar, 0},
+		{sysAngel, 0.1},
+	} {
+		system, l2 := tc.system, tc.l2
+		prm := tuned(system, "avazu", l2)
+		prm.MaxSteps = 8
+		cases = append(cases, runner{
+			name: fmt.Sprintf("%s/l2=%g", system, l2),
+			run: func(rec *trace.Recorder) *train.Result {
+				res, err := runSystem(system, clusters.Test(4), w, prm, rec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			},
+		})
+	}
+	for _, allReduce := range []bool{false, true} {
+		allReduce := allReduce
+		name := "LBFGS-tree"
+		if allReduce {
+			name = "LBFGS-allreduce"
+		}
+		cases = append(cases, runner{
+			name: name,
+			run: func(rec *trace.Recorder) *train.Result {
+				_, _, ctx := clusters.Test(4).Build(rec)
+				parts := w.ds.Partition(4, 3)
+				res, err := lbfgs.TrainDistributed(ctx, parts, w.ds.Features, lbfgs.DistConfig{
+					Objective: glm.LogReg(0.01),
+					MaxIters:  6,
+					AllReduce: allReduce,
+				}, w.eval, w.ds.Name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			},
+		})
+	}
+	cases = append(cases, runner{
+		name: "MLlib*-SVRG",
+		run: func(rec *trace.Recorder) *train.Result {
+			_, _, ctx := clusters.Test(4).Build(rec)
+			parts := w.ds.Partition(4, 3)
+			prm := train.Params{Objective: glm.LogReg(0.01), Eta: 0.1, MaxSteps: 5, EvalEvery: 1, Seed: 7}
+			res, err := core.TrainSVRG(ctx, parts, w.ds.Features, prm, w.eval, w.ds.Name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res
+		},
+	})
+
+	for _, c := range cases {
+		var off, on *train.Result
+		offRec, onRec := new(trace.Recorder), new(trace.Recorder)
+		runWithCausal(false, func() { off = c.run(offRec) })
+		events := runWithCausal(true, func() { on = c.run(onRec) })
+		requireObsIdentical(t, c.name, off, on)
+		if offRec.CSV() != onRec.CSV() {
+			t.Errorf("%s: engine trace CSV differs between causal-off and causal-on runs", c.name)
+		}
+		if len(events) == 0 {
+			t.Fatalf("%s: causal run recorded no events", c.name)
+		}
+		requireCausalGraph(t, c.name, events)
+	}
+}
+
+// TestCritPathGolden replays the committed Fig.4 sample logs through the
+// critical-path extractor and the standard what-if set and requires the
+// reports to match their goldens byte for byte. -update regenerates the
+// sample logs (identically to TestObsGoldenAttribution -update, which shares
+// them) and both reports.
+func TestCritPathGolden(t *testing.T) {
+	for _, tc := range []struct {
+		system string
+		slug   string
+	}{
+		{sysMLlib, "mllib"},
+		{sysMLlibStar, "mllibstar"},
+	} {
+		eventsPath := filepath.Join("testdata", "obs_events_"+tc.slug+".jsonl")
+		critGolden := filepath.Join("testdata", "critpath_"+tc.slug+".golden")
+		whatifGolden := filepath.Join("testdata", "whatif_"+tc.slug+".golden")
+		if *updateObs {
+			events := sampleEvents(t, tc.system)
+			var buf bytes.Buffer
+			if err := obs.WriteJSONL(&buf, events); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(eventsPath, buf.Bytes(), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		raw, err := os.Open(eventsPath)
+		if err != nil {
+			t.Fatalf("%v (run with -update to generate)", err)
+		}
+		events, err := obs.ReadJSONL(raw)
+		raw.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := requireCausalGraph(t, tc.system, events)
+		crit := causal.CriticalPath(g).Text(20)
+		whatif := causal.WhatIfText(g, causal.WhatIf(g, causal.StandardScenarios(g)))
+		if *updateObs {
+			if err := os.WriteFile(critGolden, []byte(crit), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(whatifGolden, []byte(whatif), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, chk := range []struct {
+			path string
+			got  string
+		}{{critGolden, crit}, {whatifGolden, whatif}} {
+			want, err := os.ReadFile(chk.path)
+			if err != nil {
+				t.Fatalf("%v (run with -update to generate)", err)
+			}
+			if chk.got != string(want) {
+				t.Errorf("%s: report drifted from %s:\n--- got ---\n%s--- want ---\n%s",
+					tc.system, chk.path, chk.got, want)
+			}
+		}
+	}
+}
+
+// TestCritPathDiagnosis pins the paper's diagnosis at message granularity on
+// the committed logs: MLlib's critical path runs through the driver (B1/B2
+// incast and single-threaded update), MLlib*'s driver share collapses and
+// its path is compute/shuffle-bound.
+func TestCritPathDiagnosis(t *testing.T) {
+	load := func(slug string) *causal.Path {
+		raw, err := os.Open(filepath.Join("testdata", "obs_events_"+slug+".jsonl"))
+		if err != nil {
+			t.Fatalf("%v (run with -update to generate)", err)
+		}
+		defer raw.Close()
+		events, err := obs.ReadJSONL(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := causal.Analyze(events)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return causal.CriticalPath(g)
+	}
+	mllib := load("mllib")
+	mllibPhase, mllibDriver := mllib.Dominant()
+	if mllibDriver < 0.4 {
+		t.Errorf("MLlib: driver share of the critical path %.3f, want > 0.4\n%s", mllibDriver, mllib.Text(10))
+	}
+	switch mllibPhase {
+	case "broadcast", "tree-agg", "update":
+	default:
+		t.Errorf("MLlib: dominant path phase %q, want a driver-centric phase\n%s", mllibPhase, mllib.Text(10))
+	}
+	star := load("mllibstar")
+	starPhase, starDriver := star.Dominant()
+	if starDriver >= mllibDriver {
+		t.Errorf("MLlib*: driver share %.3f did not drop below MLlib's %.3f", starDriver, mllibDriver)
+	}
+	switch starPhase {
+	case "compute", "reduce-scatter", "allgather", "aggregate", "update":
+	default:
+		t.Errorf("MLlib*: dominant path phase %q, want compute- or shuffle-bound\n%s", starPhase, star.Text(10))
+	}
+}
+
+// chunkSweepTol is the pinned relative tolerance for the chunk what-if: the
+// re-timer rebuilds the pipelined schedule the simulator itself would run,
+// so the prediction is near-exact — the slack covers only encoding-boundary
+// effects the transform cannot see from a dense sequential trace.
+const chunkSweepTol = 0.02
+
+// TestWhatIfChunkSweep records ONE sequential high-dimensional MLlib* run
+// and predicts the pipelined makespan for chunk counts 2..8 from its trace
+// alone, then actually reruns the simulator at each chunk count and requires
+// the prediction to land within the pinned tolerance of reality.
+func TestWhatIfChunkSweep(t *testing.T) {
+	w := highDimWorkload()
+	prm := tuned(sysMLlibStar, "avazu", 0.1)
+	prm.MaxSteps = 4
+	run := func() {
+		if _, err := runSystem(sysMLlibStar, clusters.CommBound(4), w, prm, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var seq []obs.Event
+	runWithPipeline(false, func() { seq = runWithCausal(true, run) })
+	g := requireCausalGraph(t, "MLlib* sequential", seq)
+
+	for _, C := range []int{2, 4, 8} {
+		pred := causal.Retime(g, causal.Scenario{Name: fmt.Sprintf("chunks=%d", C), Chunks: C})
+		if pred.Err != "" {
+			t.Fatalf("chunks=%d: %s", C, pred.Err)
+		}
+		var act []obs.Event
+		allreduce.Configure(true, C)
+		act = runWithCausal(true, run)
+		allreduce.Configure(false, 0)
+		ag := requireCausalGraph(t, fmt.Sprintf("MLlib* chunks=%d", C), act)
+		actual := ag.Makespan()
+		rel := math.Abs(pred.Makespan-actual) / actual
+		t.Logf("chunks=%d: predicted %.6fs actual %.6fs (rel err %.4f%%)", C, pred.Makespan, actual, 100*rel)
+		if rel > chunkSweepTol {
+			t.Errorf("chunks=%d: predicted makespan %.6fs vs actual %.6fs — rel err %.4f%% exceeds %.1f%%",
+				C, pred.Makespan, actual, 100*rel, 100*chunkSweepTol)
+		}
+		if pred.Makespan >= g.Makespan() {
+			t.Errorf("chunks=%d: prediction %.6fs not below sequential %.6fs", C, pred.Makespan, g.Makespan())
+		}
+	}
+}

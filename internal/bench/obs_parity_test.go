@@ -187,7 +187,9 @@ func TestObsBitIdentitySparse(t *testing.T) {
 
 // sampleEvents runs the fixed attribution workload for one system and
 // returns its event log: avazu at small scale, l2=0.1, 8 steps, 4 workers —
-// the same shape as Figure 4's regularized comparison.
+// the same shape as Figure 4's regularized comparison. Recorded with causal
+// enrichment so the committed logs also feed the critical-path and what-if
+// goldens; attribution ignores the extra fields.
 func sampleEvents(t *testing.T, system string) []obs.Event {
 	t.Helper()
 	w, err := loadWorkload("avazu", RunConfig{Scale: 20000, EvalCap: 200})
@@ -196,7 +198,7 @@ func sampleEvents(t *testing.T, system string) []obs.Event {
 	}
 	prm := tuned(system, "avazu", 0.1)
 	prm.MaxSteps = 8
-	return runWithObs(true, func() {
+	return runWithCausal(true, func() {
 		if _, err := runSystem(system, clusters.Test(4), w, prm, nil); err != nil {
 			t.Fatal(err)
 		}

@@ -8,13 +8,27 @@ import "fmt"
 // the slowest participant. The barrier is reusable: generation g+1 starts as
 // soon as generation g has been released.
 type Barrier struct {
-	sim     *Sim
-	name    string
-	n       int
-	arrived int
-	gen     int
-	waiting []*Proc
+	sim      *Sim
+	name     string
+	n        int
+	arrived  int
+	gen      int
+	waiting  []*Proc
+	arriveAt []float64       // arrival time of each waiter, parallel to waiting
+	obs      BarrierObserver // release notification; nil when unobserved
 }
+
+// BarrierObserver is called once per participant when a generation releases:
+// proc arrived at arriveAt and resumes at releaseAt (the last arrival's
+// time). The callback runs inside the last arriver's process context at the
+// release instant and must only observe — it is the hook the causal trace
+// uses to record who the slowest participant was, and it may not block or
+// advance the clock.
+type BarrierObserver func(proc *Proc, gen int, arriveAt, releaseAt float64)
+
+// Observe installs the release observer (nil uninstalls). Observing a
+// barrier changes nothing about its timing or release order.
+func (b *Barrier) Observe(fn BarrierObserver) { b.obs = fn }
 
 // NewBarrier returns a barrier for n participants.
 func NewBarrier(sim *Sim, name string, n int) *Barrier {
@@ -42,10 +56,18 @@ func (b *Barrier) Arrive(p *Proc) int {
 				b.sim.schedule(b.sim.now, w)
 			}
 		}
+		if b.obs != nil {
+			for i, w := range b.waiting {
+				b.obs(w, gen, b.arriveAt[i], b.sim.now)
+			}
+			b.obs(p, gen, b.sim.now, b.sim.now)
+		}
 		b.waiting = b.waiting[:0]
+		b.arriveAt = b.arriveAt[:0]
 		return gen
 	}
 	b.waiting = append(b.waiting, p)
+	b.arriveAt = append(b.arriveAt, b.sim.now)
 	p.block(fmt.Sprintf("barrier %q gen %d (%d/%d arrived)", b.name, gen, b.arrived, b.n))
 	return gen
 }

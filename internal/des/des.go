@@ -107,6 +107,12 @@ type Proc struct {
 // Name returns the process name given at Spawn time.
 func (p *Proc) Name() string { return p.name }
 
+// ID returns the process's spawn id, unique within its Sim and assigned in
+// spawn order. Names alone need not be unique (per-collective sender forks
+// reuse theirs), so "name#id" is the canonical process identity of the
+// causal trace.
+func (p *Proc) ID() int { return p.id }
+
 // Sim returns the simulation this process belongs to.
 func (p *Proc) Sim() *Sim { return p.sim }
 

@@ -10,7 +10,7 @@ package des
 // reused.
 func Fork(p *Proc, name string, fn func(child *Proc)) *Join {
 	j := &Join{done: NewQueue[struct{}](p.Sim(), name+"/join")}
-	p.Sim().Spawn(name, func(child *Proc) {
+	j.child = p.Sim().Spawn(name, func(child *Proc) {
 		fn(child)
 		j.done.Put(struct{}{})
 	})
@@ -18,7 +18,15 @@ func Fork(p *Proc, name string, fn func(child *Proc)) *Join {
 }
 
 // Join signals a forked child's completion.
-type Join struct{ done *Queue[struct{}] }
+type Join struct {
+	done  *Queue[struct{}]
+	child *Proc
+}
+
+// Proc returns the forked child process — its identity, not a handle to block
+// on (that is Wait). The causal trace records it to tie the child's event
+// chain to the fork point in the parent's.
+func (j *Join) Proc() *Proc { return j.child }
 
 // Wait blocks p until the forked process has returned. Completion is
 // delivered through a queue, so Wait may be called at most once per Fork.

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"mllibstar/internal/des"
+	"mllibstar/internal/obs"
 )
 
 // sendJob is one queued message of an async Sender; a zero tag is the close
@@ -43,6 +44,11 @@ func (ex *Executor) StartSender(p *des.Proc, name string) *Sender {
 			ex.Send(child, j.to, j.tag, j.bytes, j.payload)
 		}
 	})
+	if sink := obs.Active(); sink.Causal() {
+		child := s.join.Proc()
+		sink.CausalFork(ex.name, obs.CausalProcID(p.Name(), p.ID()),
+			obs.CausalProcID(child.Name(), child.ID()), p.Now())
+	}
 	return s
 }
 

@@ -312,6 +312,12 @@ func trainAllReduce(ctx *engine.Context, parts []data.View, dim int, cfg DistCon
 		for it := 1; it <= cfg.MaxIters && !done; it++ {
 			obs.Active().SetStep(it, p.Now())
 			bar := des.NewBarrier(ctx.Cluster.Sim, fmt.Sprintf("lbfgs-it%d", it), k)
+			if sink := obs.Active(); sink.Causal() {
+				name := fmt.Sprintf("lbfgs-it%d", it)
+				bar.Observe(func(w *des.Proc, gen int, arrive, release float64) {
+					sink.CausalBarrier(name, gen, obs.CausalProcID(w.Name(), w.ID()), arrive, release)
+				})
+			}
 			tasks := make([]engine.Task, k)
 			for i := 0; i < k; i++ {
 				i := i

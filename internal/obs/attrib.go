@@ -180,6 +180,11 @@ func Attribute(events []Event) *Report {
 			// not node activity; letting them into the extents would stretch
 			// step spans and misattribute the slack as wait time
 			continue
+		case PhaseCausalFork, PhaseCausalBarrier, PhaseCausalSpec:
+			// causal-graph bookkeeping: a barrier event's span is the
+			// participant's wait, which the residual already measures —
+			// counting it here would double-book wait as busy time
+			continue
 		}
 		a := get(e.Step)
 		if !a.hasExtent || e.Start < a.stat.Start {

@@ -42,7 +42,8 @@ func RecorderFromEvents(events []Event) *trace.Recorder {
 	for _, e := range events {
 		switch e.Phase {
 		case PhaseStep, PhaseEval, PhaseUpdates, PhaseMeta,
-			PhaseServeRequest, PhaseServeBatch, PhaseServeSwap:
+			PhaseServeRequest, PhaseServeBatch, PhaseServeSwap,
+			PhaseCausalFork, PhaseCausalBarrier, PhaseCausalSpec:
 			continue
 		case PhaseStage:
 			rec.Mark(e.Start, e.Note+" start")

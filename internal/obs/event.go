@@ -17,6 +17,10 @@ import (
 // Stale under SSP); update-counter events set Count; meta events hold a
 // key=value pair in Note. Float fields deliberately avoid omitempty so the
 // encoding round-trips bit-exactly (omitting -0 or re-adding it would not).
+//
+// The causal fields (Proc, MID, Grp) are populated only under EnableCausal;
+// all three carry omitempty so a causal-off log encodes byte-identically to
+// a pre-causal one.
 type Event struct {
 	Step  int      `json:"step"`
 	Node  string   `json:"node,omitempty"`
@@ -31,6 +35,9 @@ type Event struct {
 	Loss  float64  `json:"loss"`
 	Count int64    `json:"count,omitempty"`
 	Note  string   `json:"note,omitempty"`
+	Proc  string   `json:"proc,omitempty"` // causal: des process identity ("name#id") that produced the event
+	MID   int64    `json:"mid,omitempty"`  // causal: message id pairing a send half with its recv half
+	Grp   string   `json:"grp,omitempty"`  // causal: group key (barrier generation, forked child identity)
 }
 
 // WriteJSONL writes one JSON object per line. encoding/json emits struct

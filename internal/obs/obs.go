@@ -26,6 +26,7 @@
 package obs
 
 import (
+	"strconv"
 	"sync/atomic"
 
 	"mllibstar/internal/trace"
@@ -68,6 +69,19 @@ const (
 	PhaseServeRequest Phase = "serve-request" // one scored request: span = client-observed latency, Count = scoring epoch
 	PhaseServeBatch   Phase = "serve-batch"   // one flushed batch: Count = batch size, Note = flush reason (full|deadline|swap)
 	PhaseServeSwap    Phase = "serve-swap"    // hot model swap activation: Count = the new epoch
+
+	// Causal-trace bookkeeping phases, emitted only under EnableCausal.
+	// Like the serve phases they describe the run rather than node activity:
+	// they book no phase seconds, no bytes, and are excluded from bottleneck
+	// attribution and gantt reconstruction. internal/causal consumes them to
+	// close the happens-before graph where message edges alone cannot:
+	// fork events tie a child process's chain to its parent's, barrier
+	// events tie every participant's release to the slowest arrival, and
+	// spec events carry the cluster's rates so the what-if re-timer can
+	// recompute message service times from bytes.
+	PhaseCausalFork    Phase = "cp-fork"    // Proc = parent, Grp = child process identity, Start = End = fork time
+	PhaseCausalBarrier Phase = "cp-barrier" // Proc = participant, Grp = "name@gen", Start = arrival, End = release
+	PhaseCausalSpec    Phase = "cp-spec"    // Node = machine ("" = network config), Note = key=value rates
 )
 
 // Channel classifies which logical link a message used, following the
@@ -210,9 +224,31 @@ func Enable() *Sink {
 	return s
 }
 
+// EnableCausal installs a fresh sink with causal tracing on and returns it.
+// A causal sink records the same events Enable's would, enriched with the
+// des process identity of each span and message half, a message id pairing
+// every send with its recv, and the causal-only bookkeeping records
+// (cp-fork, cp-barrier, cp-spec) that internal/causal turns into a
+// happens-before graph. Like recording itself, the enrichment observes and
+// never charges: simulated times, bytes, and every training numeric are
+// bit-identical with causal tracing on, off, or disabled entirely.
+func EnableCausal() *Sink {
+	s := NewSink()
+	s.causal = true
+	active.Store(s)
+	return s
+}
+
 // Disable uninstalls the sink; subsequent Active calls return nil (whose
 // methods are all no-ops).
 func Disable() { active.Store(nil) }
 
 // Active returns the installed sink, or nil when telemetry is off.
 func Active() *Sink { return active.Load() }
+
+// CausalProcID renders a des process identity for the causal fields: the
+// process name qualified by its spawn id, which stays unique when several
+// helpers share a name (e.g. the per-collective sender forks).
+func CausalProcID(name string, id int) string {
+	return name + "#" + strconv.Itoa(id)
+}

@@ -19,6 +19,7 @@ import (
 	"sort"
 	"strings"
 
+	"mllibstar/internal/causal"
 	"mllibstar/internal/metrics"
 	"mllibstar/internal/obs"
 )
@@ -120,7 +121,16 @@ nav a { margin-right: 14px; font-size: 13px; }
 	}
 	b.WriteString("<h2>Bottleneck attribution</h2><pre>")
 	b.WriteString(html.EscapeString(report.Text()))
-	b.WriteString("</pre></body></html>")
+	b.WriteString("</pre>")
+	// Causally-enriched logs (recorded with -causal) additionally get the
+	// message-level critical path; plain logs fail Analyze and skip it.
+	if g, err := causal.Analyze(events); err == nil {
+		b.WriteString("<h2>Critical path</h2><pre>")
+		//mlstar:nolint detflow -- render-only path: the report is HTML output, nothing flows back into the simulation
+		b.WriteString(html.EscapeString(causal.CriticalPath(g).Text(20)))
+		b.WriteString("</pre>")
+	}
+	b.WriteString("</body></html>")
 	return b.String()
 }
 

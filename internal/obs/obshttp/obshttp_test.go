@@ -84,6 +84,9 @@ func TestEndpoints(t *testing.T) {
 			t.Errorf("dashboard missing %q", want)
 		}
 	}
+	if strings.Contains(body, "Critical path") {
+		t.Error("dashboard rendered a critical-path section for a non-causal log")
+	}
 
 	resp, err := http.Get(srv.URL + "/nope")
 	if err != nil {
@@ -92,6 +95,29 @@ func TestEndpoints(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusNotFound {
 		t.Errorf("unknown path: status %d", resp.StatusCode)
+	}
+}
+
+// TestDashboardCriticalPath pins the conditional section: a causally-enriched
+// log gets the message-level critical path on the dashboard, a plain log
+// (checked in TestEndpoints) does not.
+func TestDashboardCriticalPath(t *testing.T) {
+	s := obs.SinkFromEvents([]obs.Event{
+		{Phase: obs.PhaseCausalSpec, Note: "latency=0.0001;overhead=0"},
+		{Phase: obs.PhaseCausalSpec, Node: "a", Note: "rate=1e9;sbw=1e8;rbw=1e8"},
+		{Phase: obs.PhaseCausalSpec, Node: "b", Note: "rate=1e9;sbw=1e8;rbw=1e8"},
+		{Phase: obs.PhaseCompute, Node: "a", Proc: "w#1", Start: 0, End: 0.001},
+		{Phase: obs.PhaseReduceScatter, Node: "a", Proc: "w#1", Dir: obs.DirSend, Chan: obs.ChanShuffle,
+			Enc: obs.EncDense, Bytes: 1e4, Start: 0.001, End: 0.0011, MID: 1, Note: "xch:rs:s1"},
+		{Phase: obs.PhaseReduceScatter, Node: "b", Proc: "x#1", Dir: obs.DirRecv, Chan: obs.ChanShuffle,
+			Enc: obs.EncDense, Bytes: 1e4, Start: 0.0012, End: 0.0013, MID: 1, Note: "xch:rs:s1"},
+		{Phase: obs.PhaseCompute, Node: "b", Proc: "x#1", Start: 0.0013, End: 0.0023},
+	})
+	srv := httptest.NewServer(Handler(s))
+	defer srv.Close()
+	body, _ := get(t, srv, "/")
+	if !strings.Contains(body, "Critical path") || !strings.Contains(body, "critical path") {
+		t.Errorf("dashboard missing the critical-path section:\n%s", body)
 	}
 }
 

@@ -1,8 +1,10 @@
 package obs
 
 import (
+	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 )
 
 // superstepBuckets are the histogram bounds for per-superstep virtual
@@ -30,6 +32,9 @@ type Sink struct {
 	mu     sync.Mutex
 	events []Event
 	reg    *Registry
+
+	causal bool         // enrich events with causal identities (EnableCausal)
+	mid    atomic.Int64 // message-id allocator; ids start at 1 so 0 means "no causal pairing"
 
 	step      int
 	stepStart float64
@@ -132,6 +137,26 @@ func (s *Sink) Step() int {
 	return s.step
 }
 
+// Causal reports whether this sink enriches events with causal identities.
+// Nil-safe like every Sink method, so instrumentation sites can gate the
+// (string-building) enrichment work on obs.Active().Causal().
+func (s *Sink) Causal() bool {
+	if s == nil {
+		return false
+	}
+	return s.causal
+}
+
+// NewMID allocates the next message id, or returns 0 when causal tracing is
+// off — send sites call it unconditionally and a zero id simply leaves the
+// event's MID field absent.
+func (s *Sink) NewMID() int64 {
+	if s == nil || !s.causal {
+		return 0
+	}
+	return s.mid.Add(1)
+}
+
 // record appends an event and folds it into the registry. Caller holds no
 // locks. This is the single ingestion path, shared by the live hooks and by
 // SinkFromEvents replay, which is what keeps live and replayed registries
@@ -176,6 +201,10 @@ func (s *Sink) record(e Event) {
 	case e.Phase == PhaseStage:
 		// the stage span aggregates its inner phases; counting it too would
 		// double-book the driver's seconds
+	case e.Phase == PhaseCausalFork, e.Phase == PhaseCausalBarrier, e.Phase == PhaseCausalSpec:
+		// causal-graph bookkeeping: pure happens-before structure, no metric
+		// (a barrier event's span is the participant's wait, which the
+		// attribution already derives as residual wait time)
 	default:
 		s.mPhaseSec.Add(e.End-e.Start, e.Node, string(e.Phase), "")
 	}
@@ -209,6 +238,67 @@ func (s *Sink) Message(node string, ph Phase, ch Channel, dir Dir, enc Encoding,
 	}
 	s.record(Event{Step: s.Step(), Node: node, Phase: ph, Dir: dir, Chan: ch, Enc: enc,
 		Bytes: bytes, Start: start, End: end})
+}
+
+// SpanProc is Span carrying the recording process's causal identity. When
+// causal tracing is off the identity is dropped, so the recorded event is
+// exactly what Span would have produced.
+func (s *Sink) SpanProc(node string, ph Phase, start, end float64, note, proc string) {
+	if s == nil {
+		return
+	}
+	if !s.causal {
+		proc = ""
+	}
+	s.record(Event{Step: s.Step(), Node: node, Phase: ph, Start: start, End: end, Note: note, Proc: proc})
+}
+
+// MessageProc is Message carrying the process identity and message id of the
+// causal trace, plus the mailbox tag in Note (the chunk-level identity the
+// what-if re-timer needs). All three enrichments are dropped when causal
+// tracing is off, reducing to exactly Message's event.
+func (s *Sink) MessageProc(node string, ph Phase, ch Channel, dir Dir, enc Encoding, bytes, start, end float64, tag, proc string, mid int64) {
+	if s == nil {
+		return
+	}
+	note := tag
+	if !s.causal {
+		note, proc, mid = "", "", 0
+	}
+	s.record(Event{Step: s.Step(), Node: node, Phase: ph, Dir: dir, Chan: ch, Enc: enc,
+		Bytes: bytes, Start: start, End: end, Note: note, Proc: proc, MID: mid})
+}
+
+// CausalFork records that parent forked child at now (a cp-fork event); the
+// causal graph uses it to gate the child chain's first node. No-op unless
+// causal tracing is on.
+func (s *Sink) CausalFork(node, parent, child string, now float64) {
+	if s == nil || !s.causal {
+		return
+	}
+	s.record(Event{Step: s.Step(), Node: node, Phase: PhaseCausalFork,
+		Start: now, End: now, Proc: parent, Grp: child})
+}
+
+// CausalBarrier records one participant of a completed barrier generation: a
+// cp-barrier event spanning [arrival, release] for proc, grouped by the
+// barrier's name and generation. No-op unless causal tracing is on.
+func (s *Sink) CausalBarrier(name string, gen int, proc string, arrive, release float64) {
+	if s == nil || !s.causal {
+		return
+	}
+	s.record(Event{Step: s.Step(), Phase: PhaseCausalBarrier,
+		Start: arrive, End: release, Proc: proc, Grp: fmt.Sprintf("%s@%d", name, gen)})
+}
+
+// CausalSpec records a cluster-spec note (node rates, network latency and
+// framing) so an event log is self-describing for the what-if re-timer.
+// No-op unless causal tracing is on.
+func (s *Sink) CausalSpec(node, note string) {
+	if s == nil || !s.causal {
+		return
+	}
+	s.record(Event{Step: s.Step(), Node: node, Phase: PhaseCausalSpec, Note: note})
 }
 
 // Stage records the full span of one BSP stage at the driver.

@@ -1,0 +1,90 @@
+package serve
+
+// What-if re-sharding validation: the causal graph of one recorded serving
+// run predicts the makespan of deployments with other shard counts, checked
+// here against actual reruns of the same load. Merging shards is near-exact
+// (each nonzero is owned by exactly one shard either way, so merged work and
+// bytes are conserved up to per-message headers); splitting assumes an even
+// nonzero split, so it gets a looser bound.
+
+import (
+	"math"
+	"testing"
+
+	"mllibstar/internal/causal"
+	"mllibstar/internal/obs"
+)
+
+// causalLoad saturates the tier: requests arrive faster than one shard can
+// score them, so the shard count genuinely moves the makespan and the
+// what-if predictions are tested against a real effect, not request pacing.
+func causalLoad() LoadConfig {
+	return LoadConfig{PerClient: 40, QPS: 50000, NNZ: 48, ZipfS: 1.2, ZipfV: 1, Seed: 42}
+}
+
+// causalServeEvents runs one deployment under causal tracing and returns the
+// event log.
+func causalServeEvents(t *testing.T, shards int) []obs.Event {
+	t.Helper()
+	s := obs.EnableCausal()
+	defer obs.Disable()
+	w := testWeights(1, testDim)
+	runServe(t, shards, 3, Config{Dim: testDim, BatchMax: 8, BatchBudget: 0.002}, w, causalLoad())
+	return s.Events()
+}
+
+// serveGraph builds and validates the causal graph of one serve run, pinning
+// the identity-replay contract on the serving tier's message patterns too
+// (request fan-out, reply fan-in, deadline-driven batching).
+func serveGraph(t *testing.T, shards int) *causal.Graph {
+	t.Helper()
+	g, err := causal.Analyze(causalServeEvents(t, shards))
+	if err != nil {
+		t.Fatalf("%d shards: %v", shards, err)
+	}
+	id := causal.Retime(g, causal.Scenario{Name: "identity"})
+	if id.Err != "" {
+		t.Fatalf("%d shards: identity retime failed: %s", shards, id.Err)
+	}
+	if math.Float64bits(id.Makespan) != math.Float64bits(g.Makespan()) {
+		t.Errorf("%d shards: identity retime makespan %v != recorded %v", shards, id.Makespan, g.Makespan())
+	}
+	return g
+}
+
+// Pinned tolerances for the shard what-if: merge predictions conserve work
+// and bytes exactly, so their slack covers only NIC interleaving the merged
+// schedule cannot replay; the split heuristic divides each interaction
+// evenly, which real nonzero placement does not.
+const (
+	shardMergeTol = 0.03
+	shardSplitTol = 0.10
+)
+
+// TestWhatIfShardSweep records ONE 4-shard serving run and predicts the
+// makespan at 1, 2, and 8 shards from its trace alone, then actually reruns
+// each deployment and requires the predictions to land within the pinned
+// tolerances of reality.
+func TestWhatIfShardSweep(t *testing.T) {
+	g := serveGraph(t, 4)
+	for _, tc := range []struct {
+		shards int
+		tol    float64
+	}{
+		{1, shardMergeTol},
+		{2, shardMergeTol},
+		{8, shardSplitTol},
+	} {
+		pred := causal.Retime(g, causal.Scenario{Name: "reshard", Shards: tc.shards})
+		if pred.Err != "" {
+			t.Fatalf("shards=%d: %s", tc.shards, pred.Err)
+		}
+		actual := serveGraph(t, tc.shards).Makespan()
+		rel := math.Abs(pred.Makespan-actual) / actual
+		t.Logf("shards=%d: predicted %.6fs actual %.6fs (rel err %.4f%%)", tc.shards, pred.Makespan, actual, 100*rel)
+		if rel > tc.tol {
+			t.Errorf("shards=%d: predicted makespan %.6fs vs actual %.6fs — rel err %.4f%% exceeds %.1f%%",
+				tc.shards, pred.Makespan, actual, 100*rel, 100*tc.tol)
+		}
+	}
+}

@@ -58,6 +58,7 @@ type Message struct {
 	phase     obs.Phase    // collective phase, from the tag or SendPhase
 	channel   obs.Channel  // logical link class, from the tag
 	enc       obs.Encoding // wire encoding, from the payload
+	mid       int64        // causal message id pairing send and recv events; 0 when causal tracing is off
 }
 
 // Node is one simulated machine.
@@ -106,6 +107,16 @@ func New(sim *des.Sim, cfg Config, specs []NodeSpec, rec *trace.Recorder) *Netwo
 			boxes: map[string]*des.Queue[*Message]{},
 		}
 		n.order = append(n.order, sp.Name)
+	}
+	if sink := obs.Active(); sink.Causal() {
+		// Make the event log self-describing for the what-if re-timer: it
+		// recomputes message service times from bytes and these rates when
+		// a scenario changes message sizes (chunk splits, shard merges).
+		sink.CausalSpec("", fmt.Sprintf("latency=%g;overhead=%g", cfg.Latency, cfg.OverheadBytes))
+		for _, name := range n.order {
+			sp := n.nodes[name].spec
+			sink.CausalSpec(name, fmt.Sprintf("rate=%g;sbw=%g;rbw=%g", sp.ComputeRate, sp.SendBW, sp.RecvBW))
+		}
 	}
 	return n
 }
@@ -172,8 +183,17 @@ func (nd *Node) ComputeKind(p *des.Proc, work float64, kind trace.Kind, note str
 	start := p.Now()
 	p.Wait(d)
 	nd.net.rec.Add(nd.spec.Name, kind, start, p.Now(), note)
-	obs.Active().Span(nd.spec.Name, obs.PhaseForKind(kind), start, p.Now(), note)
+	obs.Active().SpanProc(nd.spec.Name, obs.PhaseForKind(kind), start, p.Now(), note, causalProc(p))
 	return d
+}
+
+// causalProc renders p's causal identity, or "" when causal tracing is off —
+// the hot paths call it unconditionally, so the string build is gated here.
+func causalProc(p *des.Proc) string {
+	if !obs.Active().Causal() {
+		return ""
+	}
+	return obs.CausalProcID(p.Name(), p.ID())
 }
 
 // Observe records a span over [start, end] — already-elapsed virtual time —
@@ -191,7 +211,7 @@ func (nd *Node) Observe(p *des.Proc, kind trace.Kind, start, end float64, note s
 		return
 	}
 	nd.net.rec.Add(nd.spec.Name, kind, start, end, note)
-	obs.Active().Span(nd.spec.Name, obs.PhaseForKind(kind), start, end, note)
+	obs.Active().SpanProc(nd.spec.Name, obs.PhaseForKind(kind), start, end, note, causalProc(p))
 }
 
 // ComputeAsyncKind overlaps a pure numeric closure with its virtual-time
@@ -247,15 +267,16 @@ func (nd *Node) sendPhase(p *des.Proc, to, tag string, bytes float64, payload an
 	sentAt := p.Now()
 	_, outEnd := nd.out.Reserve(wire / nd.spec.SendBW)
 	p.WaitUntil(outEnd)
+	mid := obs.Active().NewMID()
 	nd.net.rec.Add(nd.spec.Name, obs.KindForSend(ph, obs.DirSend), sentAt, outEnd, tag)
-	obs.Active().Message(nd.spec.Name, ph, ch, obs.DirSend, enc, bytes, sentAt, outEnd)
+	obs.Active().MessageProc(nd.spec.Name, ph, ch, obs.DirSend, enc, bytes, sentAt, outEnd, tag, causalProc(p), mid)
 
 	arrive := outEnd + nd.net.cfg.Latency
 	rs, re := dst.in.ReserveAt(arrive, wire/dst.spec.RecvBW)
 	msg := &Message{
 		From: nd.spec.Name, To: to, Tag: tag, Bytes: bytes, Payload: payload,
 		SentAt: sentAt, DeliverAt: re, recvStart: rs,
-		phase: ph, channel: ch, enc: enc,
+		phase: ph, channel: ch, enc: enc, mid: mid,
 	}
 	nd.bytesSent += bytes
 	nd.msgsSent++
@@ -272,7 +293,7 @@ func (nd *Node) Recv(p *des.Proc, tag string) *Message {
 	msg := nd.box(tag).Get(p)
 	p.WaitUntil(msg.DeliverAt)
 	nd.net.rec.Add(nd.spec.Name, obs.KindForSend(msg.phase, obs.DirRecv), msg.recvStart, msg.DeliverAt, tag)
-	obs.Active().Message(nd.spec.Name, msg.phase, msg.channel, obs.DirRecv, msg.enc, msg.Bytes, msg.recvStart, msg.DeliverAt)
+	obs.Active().MessageProc(nd.spec.Name, msg.phase, msg.channel, obs.DirRecv, msg.enc, msg.Bytes, msg.recvStart, msg.DeliverAt, tag, causalProc(p), msg.mid)
 	return msg
 }
 
@@ -290,7 +311,7 @@ func (nd *Node) RecvUntil(p *des.Proc, tag string, deadline float64) *Message {
 	}
 	p.WaitUntil(msg.DeliverAt)
 	nd.net.rec.Add(nd.spec.Name, obs.KindForSend(msg.phase, obs.DirRecv), msg.recvStart, msg.DeliverAt, tag)
-	obs.Active().Message(nd.spec.Name, msg.phase, msg.channel, obs.DirRecv, msg.enc, msg.Bytes, msg.recvStart, msg.DeliverAt)
+	obs.Active().MessageProc(nd.spec.Name, msg.phase, msg.channel, obs.DirRecv, msg.enc, msg.Bytes, msg.recvStart, msg.DeliverAt, tag, causalProc(p), msg.mid)
 	return msg
 }
 
