@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint lint-fix lint-bench fuzz bench bench-smoke obs critpath serve-demo serve-smoke docs check clean
+.PHONY: build test race lint lint-fix lint-bench fuzz bench bench-overlap bench-smoke obs critpath serve-demo serve-smoke docs check clean
 
 build: ## compile everything
 	$(GO) build ./...
@@ -33,9 +33,16 @@ fuzz: ## short fuzz runs: libsvm reader + sparse encoding + telemetry event roun
 	$(GO) test -fuzz=FuzzEventRoundTrip -fuzztime=10s ./internal/obs
 	$(GO) test -fuzz=FuzzCausalGraph -fuzztime=10s ./internal/causal
 
-bench: ## wall-clock benchmarks (offload/sparse/pipeline/obs/causal on/off, slab kernels, CSR layout) -> BENCH_8.json
+bench: ## wall-clock benchmarks (offload/sparse/pipeline/overlap/obs/causal on/off, slab kernels, CSR layout) -> BENCH_9.json
 	$(GO) test -bench 'BenchmarkWallClock' -run '^$$' -benchmem ./internal/bench \
-		| tee /dev/stderr | $(GO) run ./cmd/mlstar-benchjson -out BENCH_8.json
+		| tee /dev/stderr | $(GO) run ./cmd/mlstar-benchjson -out BENCH_9.json
+
+bench-overlap: ## overlap=off/on pair only; asserts the sim_speedup_overlap table materializes
+	$(GO) test -bench 'BenchmarkWallClockOverlap' -run '^$$' -benchmem ./internal/bench \
+		| tee /dev/stderr | $(GO) run ./cmd/mlstar-benchjson -out BENCH_overlap.json
+	grep -q 'sim_speedup_overlap' BENCH_overlap.json
+	@rm -f BENCH_overlap.json
+	@echo "bench-overlap: sim_speedup_overlap recorded"
 
 bench-smoke: ## one-iteration benchmark pass + bit-identity tests + CSR zero-alloc guard
 	$(GO) test -bench 'BenchmarkWallClock' -benchtime=1x -run '^$$' -benchmem ./internal/bench

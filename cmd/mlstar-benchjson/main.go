@@ -24,6 +24,12 @@
 //     for benchmarks with superstep-schedule sub-runs; >1 means chunked
 //     compute/communication overlap shortened the simulated clock (bytes
 //     and numerics are identical by construction).
+//   - sim_speedup_overlap: simsec/op(overlap=off) / simsec/op(overlap=on)
+//     for benchmarks with gradient-schedule sub-runs — the end-to-end
+//     virtual-time win of producing gradient blocks feature-major inside
+//     the pipelined collective over the non-pipelined compute-then-
+//     communicate baseline (bytes and numerics identical by construction;
+//     floor ≥ 2.2 guarded by TestPipelineOverlapSpeedupTarget).
 //   - allocs_per_batch_csr: the layout=csr sub-run's allocs/op — allocations
 //     per cache-blocked mini-batch pass over the CSR arena, guarded at 0.
 //   - lint_cache_speedup: ns/op(cache=cold) / ns/op(cache=warm) for the
@@ -36,7 +42,7 @@
 //
 // Usage:
 //
-//	go test -bench 'BenchmarkWallClock' -benchmem ./internal/bench | mlstar-benchjson -out BENCH_8.json
+//	go test -bench 'BenchmarkWallClock' -benchmem ./internal/bench | mlstar-benchjson -out BENCH_9.json
 package main
 
 import (
@@ -98,6 +104,14 @@ type artifact struct {
 	// commbytes/op ratio is exactly 1 by the byte-invariance contract, so
 	// only the time ratio is tabulated.
 	SimSpeedupPipeline map[string]float64 `json:"sim_speedup_pipeline,omitempty"`
+	// SimSpeedupOverlap maps a benchmark's base name to
+	// simsec/op(overlap=off) / simsec/op(overlap=on) — the end-to-end
+	// virtual-time win of streaming feature-major gradient blocks into the
+	// chunked Reduce-Scatter as they are produced, measured against the
+	// non-pipelined compute-then-communicate baseline. Bytes and numerics
+	// are identical by construction (see overlap_parity_test.go), so only
+	// the time ratio is tabulated.
+	SimSpeedupOverlap map[string]float64 `json:"sim_speedup_overlap,omitempty"`
 	// AllocsPerBatchCSR maps a benchmark's base name to the layout=csr
 	// sub-run's allocs/op: heap allocations per full cache-blocked
 	// mini-batch pass over the CSR arena. The bench-smoke guard
@@ -123,7 +137,7 @@ var benchPrefix = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.*)$`)
 var cpuSuffix = regexp.MustCompile(`-\d+$`)
 
 func main() {
-	out := flag.String("out", "BENCH_8.json", "output JSON path")
+	out := flag.String("out", "BENCH_9.json", "output JSON path")
 	flag.Parse()
 
 	art, err := parse(bufio.NewScanner(os.Stdin))
@@ -198,6 +212,8 @@ func parse(sc *bufio.Scanner) (*artifact, error) {
 	art.TraceOverhead = ratios(art.Benchmarks, "/causal=on", "/causal=off",
 		func(r benchResult) float64 { return r.NsPerOp })
 	art.SimSpeedupPipeline = ratios(art.Benchmarks, "/pipeline=off", "/pipeline=on",
+		func(r benchResult) float64 { return r.Metrics["simsec/op"] })
+	art.SimSpeedupOverlap = ratios(art.Benchmarks, "/overlap=off", "/overlap=on",
 		func(r benchResult) float64 { return r.Metrics["simsec/op"] })
 	art.LintCacheSpeedup = ratios(art.Benchmarks, "/cache=cold", "/cache=warm",
 		func(r benchResult) float64 { return r.NsPerOp })

@@ -14,6 +14,7 @@ import (
 	"os"
 
 	"mllibstar"
+	"mllibstar/internal/allreduce"
 	"mllibstar/internal/prof"
 )
 
@@ -58,6 +59,15 @@ func main() {
 	}
 	st := ds.Stats()
 	fmt.Printf("dataset: %s\n", st)
+
+	// The model size is known now, so the chunk count can be checked against
+	// the smallest AllReduce partition (a clear error beats a silent clamp).
+	if allreduce.Enabled() {
+		if err := allreduce.ValidateChunks(allreduce.Chunks(), ds.Features, *execs); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 
 	cl := mllibstar.Cluster1(*execs)
 	if *cluster2 {

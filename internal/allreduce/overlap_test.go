@@ -1,0 +1,171 @@
+package allreduce_test
+
+import (
+	"math"
+	"testing"
+
+	"mllibstar/internal/allreduce"
+	"mllibstar/internal/clusters"
+	"mllibstar/internal/des"
+	"mllibstar/internal/engine"
+)
+
+// TestRouteOrderDeterministicAndComplete pins the routing schedule: every
+// peer exactly once, self excluded, slowest links first, and the whole order
+// — including the detrand tie-break among equal links — a pure function of
+// (name, self).
+func TestRouteOrderDeterministicAndComplete(t *testing.T) {
+	const k, dim, self = 5, 50000, 2
+	recvBW := []float64{8e8, 1e8, 8e8, 4e8, 8e8}
+	got := allreduce.RouteOrder("lbg3", self, k, dim, 8e8, recvBW)
+	if len(got) != k-1 {
+		t.Fatalf("RouteOrder returned %d peers, want %d", len(got), k-1)
+	}
+	seen := map[int]bool{}
+	for _, j := range got {
+		if j == self || j < 0 || j >= k || seen[j] {
+			t.Fatalf("RouteOrder = %v: bad peer %d", got, j)
+		}
+		seen[j] = true
+	}
+	// Bottleneck costs: peer 1 drains at 1e8 B/s, peer 3 at 4e8, the rest at
+	// the full 8e8 — slowest first.
+	if got[0] != 1 || got[1] != 3 {
+		t.Fatalf("RouteOrder = %v, want slowest links (1, 3) first", got)
+	}
+	again := allreduce.RouteOrder("lbg3", self, k, dim, 8e8, recvBW)
+	for i := range got {
+		if got[i] != again[i] {
+			t.Fatalf("RouteOrder not deterministic: %v vs %v", got, again)
+		}
+	}
+	// Uniform bandwidth: order is the deterministic permutation, still a
+	// complete visit of the peers.
+	uniform := allreduce.RouteOrder("svrg-mu1", 0, 4, dim, 8e8, []float64{8e8, 8e8, 8e8, 8e8})
+	if len(uniform) != 3 {
+		t.Fatalf("uniform RouteOrder = %v", uniform)
+	}
+}
+
+// vecProducer is a trivial Producer over a fixed source vector, standing in
+// for the gradient stream in collective-level tests.
+type vecProducer struct {
+	src, dst []float64
+	total    float64
+	prepared bool
+}
+
+func (v *vecProducer) Prepare()             { v.prepared = true }
+func (v *vecProducer) PrepareWork() float64 { return v.total / 2 }
+func (v *vecProducer) Produce(lo, hi int) {
+	if !v.prepared {
+		panic("Produce before Prepare")
+	}
+	copy(v.dst[lo:hi], v.src[lo:hi])
+}
+func (v *vecProducer) Work(lo, hi int) float64 {
+	return v.total / 2 * float64(hi-lo) / float64(len(v.dst))
+}
+
+// producedRun is collectiveRun for AverageProduced: every executor's local
+// starts zeroed and is filled by its producer inside the collective.
+func producedRun(t *testing.T, spec clusters.Spec, srcs [][]float64) (locals [][]float64, bytes float64) {
+	t.Helper()
+	k := spec.Executors
+	sim, cl, ctx := spec.Build(nil)
+	locals = make([][]float64, k)
+	for i := range locals {
+		locals[i] = make([]float64, len(srcs[i]))
+	}
+	var before float64
+	sim.Spawn("driver", func(p *des.Proc) {
+		tasks := make([]engine.Task, k)
+		for i := 0; i < k; i++ {
+			i := i
+			tasks[i] = engine.Task{
+				Exec: cl.Execs[i],
+				Run: func(p *des.Proc, ex *engine.Executor) (any, float64) {
+					prod := &vecProducer{src: srcs[i], dst: locals[i], total: float64(2 * len(srcs[i]))}
+					allreduce.AverageProduced(p, ex, cl.Execs, i, "t", locals[i], prod)
+					return nil, 0
+				},
+			}
+		}
+		before = cl.Net.TotalBytes()
+		ctx.RunStage(p, "c", tasks)
+	})
+	sim.Run()
+	return locals, cl.Net.TotalBytes() - before
+}
+
+// TestAverageProducedBitIdentical crosses overlap {degenerate, pipelined} ×
+// sparse × chunk counts and demands Float64bits-identical results and equal
+// stage bytes against plain Average on precomputed vectors.
+func TestAverageProducedBitIdentical(t *testing.T) {
+	const k, dim = 4, 4000
+	for _, sparseOn := range []bool{false, true} {
+		run := func() {
+			srcs, _ := makeLocals(k, dim, false, 11)
+			want := make([][]float64, k)
+			for i := range srcs {
+				want[i] = append([]float64(nil), srcs[i]...)
+			}
+			var wantBytes float64
+			_, wantBytes = collectiveRun(t, clusters.Test(k), want, nil)
+
+			check := func(label string, got [][]float64, gotBytes float64) {
+				t.Helper()
+				if gotBytes != wantBytes {
+					t.Errorf("%s sparse=%v: bytes %g, want %g", label, sparseOn, gotBytes, wantBytes)
+				}
+				for i := range got {
+					for j := range got[i] {
+						if math.Float64bits(got[i][j]) != math.Float64bits(want[i][j]) {
+							t.Fatalf("%s sparse=%v: executor %d coord %d: %x vs %x", label, sparseOn, i, j,
+								math.Float64bits(got[i][j]), math.Float64bits(want[i][j]))
+						}
+					}
+				}
+			}
+
+			// Overlap requested with pipelining off: the degenerate
+			// produce-then-reduce path must reproduce Average exactly.
+			allreduce.ConfigureOverlap(true)
+			defer allreduce.ConfigureOverlap(false)
+			got, gotBytes := producedRun(t, clusters.Test(k), srcs)
+			check("degenerate", got, gotBytes)
+
+			// Overlapped chunked schedule across chunk counts.
+			for _, chunks := range []int{2, 8, 16} {
+				withPipeline(t, true, chunks, func() {
+					got, gotBytes := producedRun(t, clusters.Test(k), srcs)
+					check("overlap", got, gotBytes)
+				})
+			}
+		}
+		if sparseOn {
+			withSparseOn(t, run)
+		} else {
+			run()
+		}
+	}
+}
+
+// TestAverageProducedSingleExecutor: with k = 1 the produced vector is the
+// result and the collective adds no traffic beyond the stage envelope.
+func TestAverageProducedSingleExecutor(t *testing.T) {
+	allreduce.ConfigureOverlap(true)
+	defer allreduce.ConfigureOverlap(false)
+	srcs, _ := makeLocals(1, 100, false, 5)
+	base := [][]float64{append([]float64(nil), srcs[0]...)}
+	_, wantBytes := collectiveRun(t, clusters.Test(1), base, nil)
+	locals, bytes := producedRun(t, clusters.Test(1), srcs)
+	for j := range locals[0] {
+		if math.Float64bits(locals[0][j]) != math.Float64bits(srcs[0][j]) {
+			t.Fatalf("coord %d: %v != %v", j, locals[0][j], srcs[0][j])
+		}
+	}
+	if bytes != wantBytes {
+		t.Fatalf("k=1 stage moved %g bytes, want %g (stage envelope only)", bytes, wantBytes)
+	}
+}

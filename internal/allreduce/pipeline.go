@@ -119,6 +119,34 @@ func pipelinedRSG(p *des.Proc, ex *engine.Executor, execs []string, self int, na
 		}
 	}
 
+	foldAndGather(p, ex, execs, self, name, local, ref, average, C, sender, own, refOwn, streamAG)
+}
+
+// foldAndGather is the back half of the chunked schedule, shared by the
+// pipelined collectives (pipelinedRSG, which has the whole vector up front,
+// and overlapRSG, which produced it block by block while the Reduce-Scatter
+// sends were already draining): the chunk-ordered receive-and-fold loop, the
+// AllGather sends, and the AllGather receive loop. It closes the sender.
+func foldAndGather(p *des.Proc, ex *engine.Executor, execs []string, self int, name string, local, ref []float64, average bool, C int, sender *engine.Sender, own, refOwn []float64, streamAG bool) {
+	k := len(execs)
+	dim := len(local)
+	lo, hi := vec.PartitionRange(dim, k, self)
+	refRange := func(lo, hi int) []float64 {
+		if ref == nil {
+			return nil
+		}
+		return ref[lo:hi]
+	}
+	// AllGather fan-out targets, ascending — the same order the sequential
+	// path and the send loops above visit peers in.
+	type peerDst struct{ j int }
+	peers := make([]peerDst, 0, k-1)
+	for j := 0; j < k; j++ {
+		if j != self {
+			peers = append(peers, peerDst{j: j})
+		}
+	}
+
 	// Receive-and-fold loop: chunks in index order, each folded in ascending
 	// sender order then scaled — the sequential fold's per-coordinate
 	// operation sequence. Charges replay the arrival sequence on the task

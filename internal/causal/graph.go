@@ -124,12 +124,14 @@ type Graph struct {
 // skip lists the event phases that are bookkeeping, not occurrences. The
 // pipeline stall spans are skipped too: they observe time the task process
 // spent blocked on a chunk, which the graph already derives from the recv
-// edges — keeping them would double-count the gating.
+// edges — keeping them would double-count the gating. Feature-block spans
+// likewise annotate gradient charges the graph already holds as compute
+// occurrences; keeping them would overlap those charges and break replay.
 func skip(ph obs.Phase) bool {
 	switch ph {
 	case obs.PhaseStep, obs.PhaseEval, obs.PhaseUpdates, obs.PhaseMeta,
 		obs.PhaseServeRequest, obs.PhaseServeBatch, obs.PhaseServeSwap,
-		obs.PhaseStage, obs.PhasePipeline:
+		obs.PhaseStage, obs.PhasePipeline, obs.PhaseFeatBlock:
 		return true
 	}
 	return false

@@ -6,17 +6,20 @@ import (
 	"strconv"
 	"strings"
 
+	"mllibstar/internal/allreduce"
 	"mllibstar/internal/obs"
 	"mllibstar/internal/vec"
 )
 
 // This file holds the structural what-if transforms: re-chunking sequential
 // AllReduce collectives into the pipelined schedule (internal/allreduce's
-// pipelinedRSG), and re-sharding the serving tier. Both rebuild the affected
-// subgraph the way the simulator itself would have built it — same byte
-// splits, same enqueue orders, same gating — so the re-timed makespan is a
-// genuine prediction of the rerun, which TestWhatIfChunkSweep and
-// TestWhatIfShardSweep check against actual reruns.
+// pipelinedRSG), streaming gradient production into those chunks (-overlap,
+// allreduce.overlapRSG), and re-sharding the serving tier. Each rebuilds the
+// affected subgraph the way the simulator itself would have built it — same
+// byte splits, same enqueue orders, same gating — so the re-timed makespan
+// is a genuine prediction of the rerun, which TestWhatIfChunkSweep,
+// TestWhatIfOverlapSweep, and TestWhatIfShardSweep check against actual
+// reruns.
 
 // specFor resolves a host's machine spec; synthesized hosts ("host~2") fall
 // back to the host they were split from.
@@ -58,9 +61,13 @@ func (r *retimer) drop(id int, replacements ...int) {
 // xchRun is one executor's slice of one sequential reduce-scatter/gather
 // collective, as recorded in its process chain: k−1 sends and recvs per
 // shuffle round, k−1 fold charges between them, k−1 update charges after.
+// grad is the anonymous compute charge immediately preceding the first send
+// on the same chain — the gradient pass that fed the collective — or −1;
+// the overlap transform streams it (streamedInstance).
 type xchRun struct {
 	name string
 	host string
+	grad int
 	rsSends, rsRecvs, folds, agSends, agRecvs, updates []int
 }
 
@@ -73,6 +80,16 @@ func parseXchRun(g *Graph, ids []int, i int) (run xchRun, next int, ok bool) {
 	first := g.Nodes[ids[i]]
 	run.name = strings.TrimPrefix(first.Note, rsPrefix)
 	run.host = first.Host
+	run.grad = -1
+	if i > 0 {
+		// Collective charges (folds, updates) carry the collective name as
+		// their note; the gradient pass is an anonymous ChargeAsync, so an
+		// un-noted span right before the first send can only be the compute
+		// that produced the vector being reduced.
+		if prev := g.Nodes[ids[i-1]]; prev.Kind == KindSpan && prev.Note == "" {
+			run.grad = ids[i-1]
+		}
+	}
 	rsTag, agTag := rsPrefix+run.name, agPrefix+run.name
 	take := func(kind NodeKind, note string) []int {
 		var out []int
@@ -101,15 +118,20 @@ func parseXchRun(g *Graph, ids []int, i int) (run xchRun, next int, ok bool) {
 	return run, i, true
 }
 
-// chunkTransform rewrites every sequential collective instance into the
-// C-chunk pipelined schedule: a forked sender drains all reduce-scatter
-// chunk sends chunk-major, the task folds chunk c as soon as its k−1 pieces
-// arrive, and the allgather chunk streams out right after its fold — the
-// exact structure of allreduce.pipelinedRSG, including the dim/k chunk cap.
-func chunkTransform(r *retimer, C int) error {
+// xchInstance is one collective instance across its k executors (runs in
+// recorded proc order) with the total model width — the concatenation of the
+// k allgather partitions.
+type xchInstance struct {
+	name string
+	runs []xchRun
+	dim  int
+}
+
+// collectCollectives gathers every sequential collective instance in the
+// trace, preserving per-proc order so the q-th run of a name on every
+// executor is the q-th instance of that collective.
+func collectCollectives(r *retimer) ([]xchInstance, error) {
 	g := r.g.src
-	// Gather runs per collective name, preserving per-proc order so the q-th
-	// run of a name on every executor is the q-th instance of that collective.
 	runsByName := map[string]map[string][]xchRun{}
 	var nameOrder []string
 	for _, proc := range g.ProcOrder {
@@ -121,10 +143,10 @@ func chunkTransform(r *retimer, C int) error {
 				continue
 			}
 			if strings.Contains(n.Note, ".c") {
-				return fmt.Errorf("collectives already pipelined (tag %q)", n.Note)
+				return nil, fmt.Errorf("collectives already pipelined (tag %q)", n.Note)
 			}
 			if n.Enc == obs.EncSparse {
-				return fmt.Errorf("sparse-encoded collective %q: chunk byte split is encoding-dependent", n.Note)
+				return nil, fmt.Errorf("sparse-encoded collective %q: chunk byte split is encoding-dependent", n.Note)
 			}
 			run, next, ok := parseXchRun(g, ids, i)
 			if !ok {
@@ -133,7 +155,7 @@ func chunkTransform(r *retimer, C int) error {
 			}
 			for _, id := range append(append([]int{}, run.rsRecvs...), run.agRecvs...) {
 				if g.Nodes[id].Enc == obs.EncSparse {
-					return fmt.Errorf("sparse-encoded collective %q: chunk byte split is encoding-dependent", run.name)
+					return nil, fmt.Errorf("sparse-encoded collective %q: chunk byte split is encoding-dependent", run.name)
 				}
 			}
 			if runsByName[run.name] == nil {
@@ -144,6 +166,7 @@ func chunkTransform(r *retimer, C int) error {
 			i = next
 		}
 	}
+	var out []xchInstance
 	for _, name := range nameOrder {
 		byProc := runsByName[name]
 		var execs []string
@@ -156,7 +179,7 @@ func chunkTransform(r *retimer, C int) error {
 		instances := len(byProc[execs[0]])
 		for _, proc := range execs {
 			if len(byProc[proc]) != instances {
-				return fmt.Errorf("collective %q: executors disagree on instance count", name)
+				return nil, fmt.Errorf("collective %q: executors disagree on instance count", name)
 			}
 		}
 		for q := 0; q < instances; q++ {
@@ -165,23 +188,52 @@ func chunkTransform(r *retimer, C int) error {
 			for e, proc := range execs {
 				runs[e] = byProc[proc][q]
 				if a := len(runs[e].rsSends); a != k-1 {
-					return fmt.Errorf("collective %q: %d sends for %d executors", name, a, k)
+					return nil, fmt.Errorf("collective %q: %d sends for %d executors", name, a, k)
 				}
 				dim += int(g.Nodes[runs[e].agSends[0]].Bytes / 8)
 			}
-			effC := C
-			if minPart := dim / k; minPart < effC {
-				effC = minPart
-			}
-			if effC <= 1 {
-				continue // too small to cut; the rerun keeps it sequential too
-			}
-			if err := r.chunkInstance(runs, effC); err != nil {
+			out = append(out, xchInstance{name: name, runs: runs, dim: dim})
+		}
+	}
+	return out, nil
+}
+
+// effChunks applies the simulator's chunk cap: never more chunks than the
+// smallest partition has coordinates.
+func effChunks(C, dim, k int) int {
+	if minPart := dim / k; minPart < C {
+		C = minPart
+	}
+	return C
+}
+
+// chunkTransform rewrites every sequential collective instance into the
+// C-chunk pipelined schedule: a forked sender drains all reduce-scatter
+// chunk sends chunk-major, the task folds chunk c as soon as its k−1 pieces
+// arrive, and the allgather chunk streams out right after its fold — the
+// exact structure of allreduce.pipelinedRSG, including the dim/k chunk cap.
+func chunkTransform(r *retimer, C int) error {
+	insts, err := collectCollectives(r)
+	if err != nil {
+		return err
+	}
+	for _, inst := range insts {
+		if effC := effChunks(C, inst.dim, len(inst.runs)); effC > 1 {
+			if err := r.chunkInstance(inst.runs, effC); err != nil {
 				return err
 			}
 		}
+		// effC <= 1: too small to cut; the rerun keeps it sequential too.
 	}
 	return nil
+}
+
+// chunkBytes returns the wire bytes of chunk c of the partition an original
+// send carried: the same PartitionRange split the pipelined simulator makes.
+func (r *retimer) chunkBytes(origSend int, C, c int) float64 {
+	ln := int(r.g.src.Nodes[origSend].Bytes / 8)
+	lo, hi := vec.PartitionRange(ln, C, c)
+	return 8 * float64(hi-lo)
 }
 
 // chunkInstance rebuilds one collective instance across its k executors.
@@ -191,13 +243,7 @@ func (r *retimer) chunkInstance(runs []xchRun, C int) error {
 	chunkSends := map[int][]int{} // original send id -> per-chunk synthesized sends
 	childPrev := make([]int, k)
 	childSub := make([]int, k)
-	foldLast := make([]int, k)
 
-	chunkBytes := func(origSend int, c int) float64 {
-		ln := int(g.Nodes[origSend].Bytes / 8)
-		lo, hi := vec.PartitionRange(ln, C, c)
-		return 8 * float64(hi-lo)
-	}
 	// Pass 1: the forked sender on each executor enqueues every
 	// reduce-scatter chunk up front, chunk-major across peers.
 	for e, run := range runs {
@@ -210,7 +256,7 @@ func (r *retimer) chunkInstance(runs []xchRun, C int) error {
 		childPrev[e], childSub[e] = fork, 1
 		for c := 0; c < C; c++ {
 			for _, sid := range run.rsSends {
-				bytes := chunkBytes(sid, c)
+				bytes := r.chunkBytes(sid, C, c)
 				dur, err := r.sendDur(run.host, bytes)
 				if err != nil {
 					return err
@@ -226,6 +272,22 @@ func (r *retimer) chunkInstance(runs []xchRun, C int) error {
 			}
 		}
 	}
+	return r.chunkFoldGather(runs, C, chunkSends, childPrev, childSub, nil)
+}
+
+// chunkFoldGather builds the fold and allgather halves of a chunked
+// collective — shared by the plain chunk rebuild and the streamed (overlap)
+// rebuild. chunkSends maps each original reduce-scatter send to its C
+// synthesized chunk sends; childPrev/childSub continue each executor's
+// out-NIC sender chain. prodTail, when non-nil, roots executor e's fold
+// chain at its last gradient-production block (the streamed schedule, where
+// the task process produces all own-partition blocks before folding) and
+// drops the recorded gradient span alongside the collective's own nodes.
+func (r *retimer) chunkFoldGather(runs []xchRun, C int, chunkSends map[int][]int, childPrev, childSub []int, prodTail []int) error {
+	g := r.g.src
+	k := len(runs)
+	foldLast := make([]int, k)
+	chunkBytes := func(origSend int, c int) float64 { return r.chunkBytes(origSend, C, c) }
 	// Pass 2: each executor receives chunk c from its k−1 peers, folds it,
 	// and streams the matching allgather chunk right after the fold.
 	for e, run := range runs {
@@ -262,6 +324,9 @@ func (r *retimer) chunkInstance(runs []xchRun, C int) error {
 		lnOwn := int(g.Nodes[run.agSends[0]].Bytes / 8)
 		anchorF := g.Nodes[run.folds[0]]
 		prev := -1
+		if prodTail != nil {
+			prev = prodTail[e]
+		}
 		folds := make([]int, C)
 		for c := 0; c < C; c++ {
 			lo, hi := vec.PartitionRange(lnOwn, C, c)
@@ -340,8 +405,193 @@ func (r *retimer) chunkInstance(runs []xchRun, C int) error {
 				r.drop(id, prev)
 			}
 		}
+		if prodTail != nil && run.grad >= 0 {
+			r.drop(run.grad, prev)
+		}
 	}
 	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Overlap transform: stream gradient production into the chunked schedule.
+
+// streamedPrefixes names the collectives whose vectors are produced block by
+// block inside the collective when -overlap is on — the
+// allreduce.AverageProduced call sites: LBFGS*'s lbg%d, SVRG's anchor
+// gradient svrg-mu%d, and the distributed-GD superstep gd%d
+// (internal/bench). A call site that adopts AverageProduced must register
+// its name prefix here for the overlap what-if to stream it; unregistered
+// collectives get the plain chunk rebuild, which is what their rerun does.
+var streamedPrefixes = []string{"lbg", "svrg-mu", "gd"}
+
+func streamedCollective(name string) bool {
+	for _, p := range streamedPrefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// overlapTransform re-times the trace under -overlap: every sequential
+// collective becomes C-chunk pipelined, and instances whose name is a
+// registered AverageProduced call site — and whose recorded gradient charge
+// is visible on every executor's chain — are rebuilt with production
+// streamed into the sends (streamedInstance).
+func overlapTransform(r *retimer, C int) error {
+	insts, err := collectCollectives(r)
+	if err != nil {
+		return err
+	}
+	streamed := 0
+	for _, inst := range insts {
+		effC := effChunks(C, inst.dim, len(inst.runs))
+		if effC <= 1 {
+			continue // too small to cut; the rerun keeps it sequential too
+		}
+		gradOK := streamedCollective(inst.name)
+		for e, run := range inst.runs {
+			// The rerun splits [0, dim) with PartitionRange over executor
+			// INDEX; runs are in recorded proc order, which the engine's
+			// stage spawns keep in index order. If the recorded partition
+			// widths disagree with that split, the positional identification
+			// is wrong — fall back to the plain chunk rebuild rather than
+			// misattribute production widths.
+			lo, hi := vec.PartitionRange(inst.dim, len(inst.runs), e)
+			gradOK = gradOK && run.grad >= 0 &&
+				int(r.g.src.Nodes[run.agSends[0]].Bytes/8) == hi-lo
+		}
+		if gradOK {
+			if err := r.streamedInstance(inst, effC); err != nil {
+				return err
+			}
+			streamed++
+		} else if err := r.chunkInstance(inst.runs, effC); err != nil {
+			return err
+		}
+	}
+	if streamed == 0 {
+		return fmt.Errorf("no streamable gradient collectives in this trace (want an %v-prefixed collective fed by a visible gradient charge)", streamedPrefixes)
+	}
+	return nil
+}
+
+// streamedInstance rebuilds one gradient-producing collective the way
+// allreduce.overlapRSG schedules it: the sender is forked at collective
+// entry; pass 1 of the two-pass kernel (per-row derivatives) runs as half
+// the recorded gradient charge (GradStream's PrepareWork convention); then
+// the remaining half is produced block by block — chunk-major, peers in
+// topology-aware route order, own partition last — with each reduce-scatter
+// chunk send gated on its block closing plus the out-NIC FIFO. The fold and
+// allgather halves are shared with the plain chunk rebuild, the fold chain
+// rooted at the last own-partition block. Block charges are apportioned by
+// coordinate width; the rerun charges them by nonzero count, which the trace
+// cannot see — the residual the overlap sweep's tolerance covers.
+func (r *retimer) streamedInstance(inst xchInstance, C int) error {
+	g := r.g.src
+	runs, dim := inst.runs, inst.dim
+	k := len(runs)
+	// Each original reduce-scatter send's destination executor, recovered
+	// through its matched recv; then inverted so sendTo[e][j] is e's send to
+	// peer j — the route order indexes peers, the chain holds send ids.
+	dstOf := map[int]int{}
+	for e2, run2 := range runs {
+		for _, rid := range run2.rsRecvs {
+			sid, ok := g.SendByMID[g.Nodes[rid].MID]
+			if !ok {
+				return fmt.Errorf("collective %q: unmatched recv", inst.name)
+			}
+			dstOf[sid] = e2
+		}
+	}
+	sendTo := make([][]int, k)
+	for e, run := range runs {
+		sendTo[e] = make([]int, k)
+		for j := range sendTo[e] {
+			sendTo[e][j] = -1
+		}
+		for _, sid := range run.rsSends {
+			dst, ok := dstOf[sid]
+			if !ok {
+				return fmt.Errorf("collective %q: send without a matched recv", inst.name)
+			}
+			sendTo[e][dst] = sid
+		}
+	}
+	recvBW := make([]float64, k)
+	for j, run := range runs {
+		sp, err := r.specFor(run.host)
+		if err != nil {
+			return err
+		}
+		recvBW[j] = sp.RecvBW
+	}
+
+	chunkSends := map[int][]int{}
+	childPrev := make([]int, k)
+	childSub := make([]int, k)
+	prodTail := make([]int, k)
+	for e, run := range runs {
+		sp, err := r.specFor(run.host)
+		if err != nil {
+			return err
+		}
+		// The exact route the rerun will take: deterministic in (name, e).
+		order := allreduce.RouteOrder(inst.name, e, k, dim, sp.SendBW, recvBW)
+		grad := g.Nodes[run.grad]
+		anchor := g.Nodes[run.rsSends[0]]
+		fork := r.add(&rnode{
+			kind: KindFork, host: run.host,
+			preds: append([]redge(nil), r.nodes[run.grad].preds...),
+			keyT:  anchor.Start, keyID: anchor.ID, keySub: 1,
+		})
+		childPrev[e], childSub[e] = fork, 1
+		taskSub := 1
+		pass1 := r.add(&rnode{
+			kind: KindSpan, host: run.host, dur: grad.Dur / 2,
+			preds: append([]redge(nil), r.nodes[run.grad].preds...),
+			keyT:  grad.Start, keyID: grad.ID, keySub: taskSub,
+		})
+		taskPrev := pass1
+		produce := func(j, c int) {
+			plo, phi := vec.PartitionRange(dim, k, j)
+			clo, chi := vec.PartitionRange(phi-plo, C, c)
+			taskSub++
+			taskPrev = r.add(&rnode{
+				kind: KindSpan, host: run.host,
+				dur:   grad.Dur / 2 * float64(chi-clo) / float64(dim),
+				preds: []redge{{from: taskPrev}},
+				keyT:  grad.Start, keyID: grad.ID, keySub: taskSub,
+			})
+		}
+		for c := 0; c < C; c++ {
+			for _, j := range order {
+				produce(j, c)
+				sid := sendTo[e][j]
+				if sid < 0 {
+					return fmt.Errorf("collective %q: no send from executor %d to peer %d", inst.name, e, j)
+				}
+				dur, err := r.sendDur(run.host, r.chunkBytes(sid, C, c))
+				if err != nil {
+					return err
+				}
+				childSub[e]++
+				id := r.add(&rnode{
+					kind: KindSend, host: run.host, res: run.host + "/out", dur: dur,
+					preds: []redge{{from: childPrev[e]}, {from: taskPrev}},
+					keyT:  anchor.Start, keyID: anchor.ID, keySub: childSub[e],
+				})
+				childPrev[e] = id
+				chunkSends[sid] = append(chunkSends[sid], id)
+			}
+		}
+		// Own partition last: it gates only the local fold chain.
+		for c := 0; c < C; c++ {
+			produce(e, c)
+		}
+		prodTail[e] = taskPrev
+	}
+	return r.chunkFoldGather(runs, C, chunkSends, childPrev, childSub, prodTail)
 }
 
 // ---------------------------------------------------------------------------
@@ -698,6 +948,19 @@ func hasSequentialCollectives(g *Graph) bool {
 	return false
 }
 
+// hasStreamedCollectives reports whether any of that traffic belongs to a
+// gradient-producing (AverageProduced) call site the overlap transform can
+// stream.
+func hasStreamedCollectives(g *Graph) bool {
+	for _, n := range g.Nodes {
+		if n.Kind == KindSend && strings.HasPrefix(n.Note, rsPrefix) && !strings.Contains(n.Note, ".c") &&
+			streamedCollective(strings.TrimPrefix(n.Note, rsPrefix)) {
+			return true
+		}
+	}
+	return false
+}
+
 // StandardScenarios returns the named what-if set for a trace: the uniform
 // scalings always, the chunk re-pipelining when sequential collectives are
 // present, and the shard re-counts when the trace has a serving tier.
@@ -711,6 +974,9 @@ func StandardScenarios(g *Graph) []Scenario {
 	}
 	if hasSequentialCollectives(g) {
 		scs = append(scs, Scenario{Name: "chunks=8", Chunks: 8})
+		if hasStreamedCollectives(g) {
+			scs = append(scs, Scenario{Name: "overlap", Overlap: true})
+		}
 	}
 	if k := serveShardCount(g); k > 0 {
 		scs = append(scs, Scenario{Name: fmt.Sprintf("shards=%d", 2*k), Shards: 2 * k})

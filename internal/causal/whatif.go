@@ -4,6 +4,8 @@ import (
 	"math"
 	"sort"
 	"strings"
+
+	"mllibstar/internal/allreduce"
 )
 
 // Scenario is a hypothetical re-timing of a recorded run. Zero-valued
@@ -17,6 +19,14 @@ type Scenario struct {
 	DriverZero   bool    // zero all busy time on driver-prefixed hosts (spans and NIC services)
 	Chunks       int     // re-chunk every sequential AllReduce into this many pipelined chunks
 	Shards       int     // re-shard the serving tier to this many shards
+
+	// Overlap re-times the trace as if -overlap were on: every sequential
+	// collective becomes pipelined (Chunks chunks; allreduce.DefaultChunks
+	// when Chunks is zero), and the gradient-producing collectives
+	// additionally stream feature-major blocks into the chunk sends — the
+	// allreduce.AverageProduced schedule, rebuilt from the recorded
+	// gradient charge.
+	Overlap bool
 }
 
 // Prediction is the outcome of re-timing one scenario.
@@ -41,13 +51,22 @@ func scale(f float64) float64 {
 // gap no predecessor explains (request pacing, batching deadlines, startup
 // staggers). The identity scenario reproduces every original timestamp
 // bit-for-bit, which TestRetimeIdentity pins; structural scenarios
-// (Chunks, Shards) rebuild the affected subgraphs the way the simulator
-// itself would have built them.
+// (Chunks, Shards, Overlap) rebuild the affected subgraphs the way the
+// simulator itself would have built them.
 func Retime(g *Graph, sc Scenario) Prediction {
 	pr := Prediction{Scenario: sc}
 	base := g.Makespan()
 	r := lower(g)
-	if sc.Chunks > 0 {
+	if sc.Overlap {
+		C := sc.Chunks
+		if C <= 0 {
+			C = allreduce.DefaultChunks
+		}
+		if err := overlapTransform(r, C); err != nil {
+			pr.Err = err.Error()
+			return pr
+		}
+	} else if sc.Chunks > 0 {
 		if err := chunkTransform(r, sc.Chunks); err != nil {
 			pr.Err = err.Error()
 			return pr

@@ -79,18 +79,21 @@ func TrainSVRG(ctx *engine.Context, parts []data.View, dim int, prm train.Params
 				i := i
 				tasks[i] = engine.Task{
 					Exec: ctx.Cluster.Execs[i],
-					// (1) Snapshot: partial loss gradient at the current
-					// (synchronized) model, offloaded as the pure closure.
-					Pure: func() float64 {
-						partial := ctx.GetVec(dim)
-						partials[i] = partial
-						work := data.AddGradient(prm.Objective, locals[i], parts[i], partial)
-						return float64(work)
-					},
 					Run: func(p *des.Proc, ex *engine.Executor) (any, float64) {
 						local := locals[i]
 						partial := partials[i]
-						allreduce.Average(p, ex, ctx.Cluster.Execs, i, fmt.Sprintf("svrg-mu%d", t), partial)
+						if allreduce.OverlapEnabled() {
+							// Overlap on: the snapshot partial is produced block
+							// by block inside the μ collective itself, so early
+							// chunks ship while later coordinates are still
+							// accumulating. Same bits, same total charge as the
+							// Pure prefetch the non-overlapped task uses.
+							partial = ctx.GetVec(dim)
+							gs := data.NewGradStream(prm.Objective, local, parts[i], partial, false, float64(parts[i].NNZ()))
+							allreduce.AverageProduced(p, ex, ctx.Cluster.Execs, i, fmt.Sprintf("svrg-mu%d", t), partial, gs)
+						} else {
+							allreduce.Average(p, ex, ctx.Cluster.Execs, i, fmt.Sprintf("svrg-mu%d", t), partial)
+						}
 
 						// (2) Inner epoch of corrected steps. Its work is
 						// structural — every Step costs 2·nnz for the two
@@ -111,6 +114,16 @@ func TrainSVRG(ctx *engine.Context, parts []data.View, dim int, prm train.Params
 						allreduce.AverageDelta(p, ex, ctx.Cluster.Execs, i, fmt.Sprintf("svrg-w%d", t), local, ref)
 						return nil, 0
 					},
+				}
+				if !allreduce.OverlapEnabled() {
+					// (1) Snapshot: partial loss gradient at the current
+					// (synchronized) model, offloaded as the pure closure.
+					tasks[i].Pure = func() float64 {
+						partial := ctx.GetVec(dim)
+						partials[i] = partial
+						work := data.AddGradient(prm.Objective, locals[i], parts[i], partial)
+						return float64(work)
+					}
 				}
 			}
 			ctx.RunStage(p, fmt.Sprintf("svrg-%d", t), tasks)

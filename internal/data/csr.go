@@ -2,6 +2,7 @@ package data
 
 import (
 	"fmt"
+	"sync"
 
 	"mllibstar/internal/glm"
 	"mllibstar/internal/vec"
@@ -31,6 +32,13 @@ type CSR struct {
 	// loop with it: when maxInd < len(model) no row can be truncated, so the
 	// per-row out-of-range scan is skipped entirely.
 	maxInd int32
+
+	// feat caches the feature-major (CSC) mirrors of row ranges, keyed
+	// {lo, hi}, built lazily by featMajorFor for the gradient stream. A
+	// partition View's range is stable across supersteps, so each range is
+	// sorted once per run.
+	featMu sync.Mutex
+	feat   map[[2]int]*featMajor
 }
 
 // DefaultBlockBytes is the slab footprint BlockRows targets per mini-batch

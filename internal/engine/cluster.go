@@ -120,6 +120,13 @@ func (ex *Executor) Name() string { return ex.name }
 // Node returns the underlying simulated node.
 func (ex *Executor) Node() *simnet.Node { return ex.node }
 
+// PeerSpec returns the recorded spec of any cluster node by name, so
+// collectives can schedule chunk routing from the machine classes
+// (internal/allreduce.RouteOrder) instead of naive round-robin.
+func (ex *Executor) PeerSpec(name string) simnet.NodeSpec {
+	return ex.cluster.Net.Node(name).Spec()
+}
+
 // TasksRun returns how many tasks this executor has completed.
 func (ex *Executor) TasksRun() int { return ex.tasksRun }
 

@@ -241,10 +241,20 @@ func trainAllReduce(ctx *engine.Context, parts []data.View, dim int, cfg DistCon
 		// line-search acceptance) sits behind the AllReduce and barrier this
 		// closure's join precedes.
 		partial := make([]float64, dim+1)
-		ex.ChargeAsync(p, float64(parts[i].NNZ())*2, func() {
-			partial[dim], _ = data.GradAndLoss(cfg.Objective, w, parts[i], partial[:dim])
-		})
-		allreduce.Average(p, ex, ctx.Cluster.Execs, i, fmt.Sprintf("lbg%d", it), partial)
+		if allreduce.OverlapEnabled() {
+			// Overlapped schedule: hand the collective a two-pass producer
+			// instead of a finished vector, so gradient chunks hit the wire
+			// while later coordinate blocks are still being accumulated. Bits
+			// and total charge match the one-shot pass exactly (data.GradStream
+			// contract); only virtual time moves.
+			gs := data.NewGradStream(cfg.Objective, w, parts[i], partial, true, float64(parts[i].NNZ())*2)
+			allreduce.AverageProduced(p, ex, ctx.Cluster.Execs, i, fmt.Sprintf("lbg%d", it), partial, gs)
+		} else {
+			ex.ChargeAsync(p, float64(parts[i].NNZ())*2, func() {
+				partial[dim], _ = data.GradAndLoss(cfg.Objective, w, parts[i], partial[:dim])
+			})
+			allreduce.Average(p, ex, ctx.Cluster.Execs, i, fmt.Sprintf("lbg%d", it), partial)
+		}
 
 		// Replicated optimizer math: every executor pays for it; replica 0
 		// performs it.

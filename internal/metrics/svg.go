@@ -242,7 +242,8 @@ func escape(s string) string {
 // told apart at a glance, and the legend labels the families explicitly:
 //
 //	computation    compute #2a78d6 (blue) · aggregate #4a3aa7 (violet) ·
-//	               update #1baf7a (aqua) · encode #2aa0c8 (cyan)
+//	               update #1baf7a (aqua) · encode #2aa0c8 (cyan) ·
+//	               featblock #6fb5e8 (sky — overlapped gradient blocks)
 //	communication  send #e34948 (red) · recv #eda100 (yellow) ·
 //	               ps-pull #c23b78 (pink) · ps-push #eb6834 (orange)
 //	other          barrier-wait #e4e3df (faint gray) · stage-scheduling
@@ -266,6 +267,7 @@ var ganttColors = [trace.KindCount]string{
 	trace.Push:      "#eb6834",
 	trace.Encode:    "#2aa0c8",
 	trace.Pipeline:  "#f2d8a7",
+	trace.FeatBlock: "#6fb5e8",
 }
 
 // ganttLegend is the legend layout: two labeled families, then the rest.
@@ -273,7 +275,7 @@ var ganttLegend = []struct {
 	Label string
 	Kinds []trace.Kind
 }{
-	{"computation:", []trace.Kind{trace.Compute, trace.Aggregate, trace.Update, trace.Encode}},
+	{"computation:", []trace.Kind{trace.Compute, trace.Aggregate, trace.Update, trace.Encode, trace.FeatBlock}},
 	{"communication:", []trace.Kind{trace.Send, trace.Recv, trace.Pull, trace.Push}},
 	{"other:", []trace.Kind{trace.Barrier, trace.Pipeline, trace.Stage}},
 }

@@ -23,6 +23,8 @@ func kindForSpan(ph Phase) trace.Kind {
 		return trace.Barrier
 	case PhasePipeline:
 		return trace.Pipeline
+	case PhaseFeatBlock:
+		return trace.FeatBlock
 	case PhaseSchedule:
 		return trace.Stage
 	case PhasePSPull:

@@ -39,13 +39,14 @@ type Phase string
 
 // Phases, mirroring the execution structure of the simulated systems.
 const (
-	PhaseCompute  Phase = "compute"   // gradient/model computation over local data
-	PhaseAgg      Phase = "aggregate" // folding partials or models
-	PhaseUpdate   Phase = "update"    // applying an update to a model
-	PhaseEncode   Phase = "encode"    // sparse encode/decode of a model-delta message
-	PhaseBarrier  Phase = "barrier"   // waiting at a BSP barrier
-	PhaseSchedule Phase = "schedule"  // driver scheduling work
-	PhasePipeline Phase = "pipeline"  // pipelined collective stalled on a chunk (observed, never charged)
+	PhaseCompute   Phase = "compute"    // gradient/model computation over local data
+	PhaseAgg       Phase = "aggregate"  // folding partials or models
+	PhaseUpdate    Phase = "update"     // applying an update to a model
+	PhaseEncode    Phase = "encode"     // sparse encode/decode of a model-delta message
+	PhaseBarrier   Phase = "barrier"    // waiting at a BSP barrier
+	PhaseSchedule  Phase = "schedule"   // driver scheduling work
+	PhasePipeline  Phase = "pipeline"   // pipelined collective stalled on a chunk (observed, never charged)
+	PhaseFeatBlock Phase = "feat-block" // feature-major gradient block produced for an overlapped collective (observed, never charged)
 
 	PhaseTreeAgg       Phase = "tree-agg"       // MLlib treeAggregate legs (leaf→aggregator→driver)
 	PhaseReduceScatter Phase = "reduce-scatter" // AllReduce phase 1 shuffle
@@ -191,6 +192,8 @@ func PhaseForKind(k trace.Kind) Phase {
 		return PhaseEncode
 	case trace.Pipeline:
 		return PhasePipeline
+	case trace.FeatBlock:
+		return PhaseFeatBlock
 	}
 	return PhaseCompute
 }

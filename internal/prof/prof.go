@@ -2,7 +2,8 @@
 // switches into the repository's CLIs: -par (the deterministic
 // compute-offload pool), -sparse (SparCML-style sparse model-delta
 // exchange), -pipeline/-chunks (chunked collectives overlapping compute
-// with communication), -csrkernels (loss-monomorphized slab kernels over
+// with communication), -overlap (feature-major gradient production feeding
+// the pipelined collective), -csrkernels (loss-monomorphized slab kernels over
 // the CSR arena), -obs/-obs-http (the structured telemetry layer),
 // -cpuprofile, -memprofile, and -trace. Results are bit-identical
 // with -par on or off — the flag only changes wall-clock behaviour — which
@@ -42,6 +43,7 @@ type Config struct {
 	par        onOff
 	sparse     onOff
 	pipeline   onOff
+	overlap    onOff
 	csrkernels onOff
 	chunks     *int
 	workers    *int
@@ -88,8 +90,9 @@ func Register(fs *flag.FlagSet) *Config {
 	fs.Var(&c.par, "par", "run pure numeric closures on the offload pool: on or off (bit-identical results; falls back to inline when GOMAXPROCS=1)")
 	fs.Var(&c.sparse, "sparse", "delta-encode model exchange when the nonzero coding is smaller: on or off (bit-identical numerics; changes simulated bytes and time)")
 	fs.Var(&c.pipeline, "pipeline", "pipeline the AllReduce supersteps: split the model into chunks and overlap chunk transfer with folding (bit-identical numerics and bytes; changes simulated time)")
+	fs.Var(&c.overlap, "overlap", "produce gradient blocks feature-major inside the pipelined collective, so chunks ship while later blocks are still computing: on or off (implies -pipeline; bit-identical numerics and bytes; changes simulated time)")
 	fs.Var(&c.csrkernels, "csrkernels", "run trainer hot loops through the loss-monomorphized slab kernels over the CSR arena: on or off (bit-identical results; off runs the Example-view interface path)")
-	c.chunks = fs.Int("chunks", 0, "chunk count for -pipeline (0 = default "+strconv.Itoa(allreduce.DefaultChunks)+")")
+	c.chunks = fs.Int("chunks", 0, "chunk count for -pipeline/-overlap (0 = default "+strconv.Itoa(allreduce.DefaultChunks)+")")
 	c.workers = fs.Int("parworkers", 0, "offload pool size (0 = GOMAXPROCS)")
 	c.cpu = fs.String("cpuprofile", "", "write a CPU profile to this file")
 	c.mem = fs.String("memprofile", "", "write a heap profile to this file on exit")
@@ -105,9 +108,19 @@ func Register(fs *flag.FlagSet) *Config {
 // profiling. The returned stop function flushes profiles and must run before
 // the process exits (normally via defer in main).
 func (c *Config) Start() (stop func(), err error) {
+	if *c.chunks != 0 {
+		// Fail fast on nonsense chunk counts; the dim-aware bound is checked
+		// again by the CLIs once the model size is known.
+		if err := allreduce.ValidateChunks(*c.chunks, 0, 0); err != nil {
+			return nil, err
+		}
+	}
 	par.Configure(bool(c.par), *c.workers)
 	sparse.Configure(bool(c.sparse))
-	allreduce.Configure(bool(c.pipeline), *c.chunks)
+	// -overlap implies the chunked schedule: without chunk messages there is
+	// nothing to hide block production behind.
+	allreduce.Configure(bool(c.pipeline) || bool(c.overlap), *c.chunks)
+	allreduce.ConfigureOverlap(bool(c.overlap))
 	data.ConfigureKernels(bool(c.csrkernels))
 
 	var cpuFile, traceFile *os.File

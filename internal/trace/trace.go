@@ -28,11 +28,12 @@ const (
 	Push                  // parameter-server delta push
 	Encode                // sparse encode/decode of a model-delta message
 	Pipeline              // pipelined collective stalled waiting for a chunk
+	FeatBlock             // feature-major gradient block production (overlap annotation)
 
 	KindCount // number of kinds; keep last
 )
 
-var kindNames = [...]string{"compute", "send", "recv", "aggregate", "update", "barrier", "stage", "pull", "push", "encode", "pipeline"}
+var kindNames = [...]string{"compute", "send", "recv", "aggregate", "update", "barrier", "stage", "pull", "push", "encode", "pipeline", "featblock"}
 
 // String returns the lower-case kind name used in CSV output.
 func (k Kind) String() string {
@@ -43,7 +44,7 @@ func (k Kind) String() string {
 }
 
 // glyphs used by the ASCII gantt renderer, one per Kind.
-var kindGlyphs = [...]byte{'C', 's', 'r', 'A', 'U', '.', '#', 'p', 'P', 'e', 'w'}
+var kindGlyphs = [...]byte{'C', 's', 'r', 'A', 'U', '.', '#', 'p', 'P', 'e', 'w', 'f'}
 
 // Span is one contiguous activity interval on one node.
 type Span struct {
@@ -185,8 +186,10 @@ func (r *Recorder) BusyTime() map[string]map[Kind]float64 {
 }
 
 // Utilization returns the fraction of [0, Horizon] each node spends in any
-// recorded activity except Barrier and Pipeline (waiting — at a BSP barrier
-// or for a pipelined chunk — does not count as useful work).
+// recorded activity except Barrier, Pipeline, and FeatBlock (the first two
+// are waiting — at a BSP barrier or for a pipelined chunk — and the third
+// annotates Compute charges that are already counted, so including it would
+// double-book the overlapped gradient blocks).
 func (r *Recorder) Utilization() map[string]float64 {
 	out := map[string]float64{}
 	h := r.Horizon()
@@ -199,7 +202,7 @@ func (r *Recorder) Utilization() map[string]float64 {
 		// map order here would make utilization differ in the last ulp
 		// between runs.
 		for k := Kind(0); k < KindCount; k++ {
-			if k != Barrier && k != Pipeline {
+			if k != Barrier && k != Pipeline && k != FeatBlock {
 				busy += kinds[k] //mlstar:nolint detflow -- busy resets each node and the fold runs in fixed Kind order, so map order cannot change it
 			}
 		}
@@ -267,7 +270,7 @@ func (r *Recorder) RenderASCII(width int) string {
 	for _, n := range nodes {
 		fmt.Fprintf(&b, "%*s  %s\n", nameW, n, rows[n])
 	}
-	b.WriteString("legend: computation[C=compute A=aggregate U=update e=encode] communication[s=send r=recv p=ps-pull P=ps-push] other[.=barrier-wait w=pipeline-stall #=stage-scheduling |=marker]\n")
+	b.WriteString("legend: computation[C=compute A=aggregate U=update e=encode f=feat-block] communication[s=send r=recv p=ps-pull P=ps-push] other[.=barrier-wait w=pipeline-stall #=stage-scheduling |=marker]\n")
 	return b.String()
 }
 
